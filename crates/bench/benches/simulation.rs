@@ -1,0 +1,48 @@
+//! Simulator throughput: events per second under each policy.
+
+use amf_bench::experiments::skewed_workload;
+use amf_core::{AmfSolver, PerSiteMaxMin};
+use amf_sim::{simulate, SimConfig, SplitStrategy};
+use amf_workload::trace::Trace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_batch_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_simulation_30x8");
+    group.sample_size(10);
+    let trace = Trace::batch(&skewed_workload(1.2, 30, 8, 4, 5));
+    group.bench_function("amf", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                black_box(&trace),
+                &AmfSolver::new(),
+                &SimConfig::default(),
+            ))
+        });
+    });
+    group.bench_function("amf+jct", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                black_box(&trace),
+                &AmfSolver::new(),
+                &SimConfig {
+                    split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                    ..SimConfig::default()
+                },
+            ))
+        });
+    });
+    group.bench_function("per-site-max-min", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                black_box(&trace),
+                &PerSiteMaxMin,
+                &SimConfig::default(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_simulation);
+criterion_main!(benches);

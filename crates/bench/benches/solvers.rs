@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the allocation solvers (feeds E8).
+
+use amf_bench::experiments::skewed_workload;
+use amf_core::{AllocationPolicy, AmfSolver, EqualDivision, PerSiteMaxMin, ProportionalToDemand};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_amf_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amf_solver_scaling");
+    group.sample_size(10);
+    for &n in &[10usize, 50, 100, 200] {
+        let inst = skewed_workload(1.2, n, 10, 5, 7).instance();
+        group.bench_with_input(BenchmarkId::new("jobs", n), &inst, |b, inst| {
+            b.iter(|| black_box(AmfSolver::new().solve(black_box(inst))));
+        });
+    }
+    for &m in &[4usize, 16, 32] {
+        let inst = skewed_workload(1.2, 50, m, m.min(5), 7).instance();
+        group.bench_with_input(BenchmarkId::new("sites", m), &inst, |b, inst| {
+            b.iter(|| black_box(AmfSolver::new().solve(black_box(inst))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policies_100x10");
+    group.sample_size(10);
+    let inst = skewed_workload(1.2, 100, 10, 5, 7).instance();
+    let policies: Vec<(&str, Box<dyn AllocationPolicy<f64>>)> = vec![
+        ("amf", Box::new(AmfSolver::new())),
+        ("amf-enhanced", Box::new(AmfSolver::enhanced())),
+        ("per-site-max-min", Box::new(PerSiteMaxMin)),
+        ("equal-division", Box::new(EqualDivision)),
+        ("proportional", Box::new(ProportionalToDemand)),
+    ];
+    for (name, policy) in &policies {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(policy.allocate(black_box(&inst))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_amf_scaling, bench_policies);
+criterion_main!(benches);

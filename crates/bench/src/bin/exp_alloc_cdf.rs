@@ -1,0 +1,7 @@
+//! E2: CDF of aggregate allocations at high skew.
+use amf_bench::experiments::balance::{alloc_cdf, CdfParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    alloc_cdf(&ExpContext::new(), &CdfParams::default());
+}

@@ -1,0 +1,7 @@
+//! E1: balance of aggregate allocations vs skew.
+use amf_bench::experiments::balance::{balance_vs_skew, BalanceParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    balance_vs_skew(&ExpContext::new(), &BalanceParams::default());
+}

@@ -1,0 +1,7 @@
+//! E14: price of fairness vs the SRPT efficiency reference.
+use amf_bench::experiments::ext::{fairness_price, FairnessPriceParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    fairness_price(&ExpContext::new(), &FairnessPriceParams::default());
+}

@@ -1,0 +1,7 @@
+//! E16: fluid vs slot vs task execution granularity.
+use amf_bench::experiments::ext::{granularity, GranularityParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    granularity(&ExpContext::new(), &GranularityParams::default());
+}

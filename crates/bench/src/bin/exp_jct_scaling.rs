@@ -1,0 +1,7 @@
+//! E4: JCT scaling in the number of sites and jobs.
+use amf_bench::experiments::jct::{jct_scaling, JctScalingParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    jct_scaling(&ExpContext::new(), &JctScalingParams::default());
+}

@@ -1,0 +1,7 @@
+//! E3: batch job completion times vs skew.
+use amf_bench::experiments::jct::{jct_vs_skew, JctSkewParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    jct_vs_skew(&ExpContext::new(), &JctSkewParams::default());
+}

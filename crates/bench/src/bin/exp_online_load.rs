@@ -1,0 +1,7 @@
+//! E7: online JCT vs offered load.
+use amf_bench::experiments::online::{online_load, OnlineParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    online_load(&ExpContext::new(), &OnlineParams::default());
+}

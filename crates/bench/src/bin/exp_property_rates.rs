@@ -1,0 +1,7 @@
+//! E5: fairness-property satisfaction rates (exact arithmetic).
+use amf_bench::experiments::props::{property_rates, PropertyParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    property_rates(&ExpContext::new(), &PropertyParams::default());
+}

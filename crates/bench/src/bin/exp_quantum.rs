@@ -1,0 +1,7 @@
+//! E12: JCT vs scheduling-round quantum (allocation staleness).
+use amf_bench::experiments::ext::{reallocation_quantum, QuantumParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    reallocation_quantum(&ExpContext::new(), &QuantumParams::default());
+}

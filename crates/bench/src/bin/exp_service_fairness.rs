@@ -1,0 +1,7 @@
+//! E15: service fairness over time (online, via the incremental Scheduler).
+use amf_bench::experiments::ext::{service_fairness, ServiceFairnessParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    service_fairness(&ExpContext::new(), &ServiceFairnessParams::default());
+}

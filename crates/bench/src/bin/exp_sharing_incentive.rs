@@ -1,0 +1,7 @@
+//! E6: sharing-incentive shortfall distribution vs skew.
+use amf_bench::experiments::props::{sharing_incentive, SharingIncentiveParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    sharing_incentive(&ExpContext::new(), &SharingIncentiveParams::default());
+}

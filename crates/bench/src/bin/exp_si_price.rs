@@ -1,0 +1,7 @@
+//! E11: the price of the sharing-incentive guarantee.
+use amf_bench::experiments::ext::{si_price, SiPriceParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    si_price(&ExpContext::new(), &SiPriceParams::default());
+}

@@ -1,0 +1,7 @@
+//! E13: per-job slowdown fairness under load.
+use amf_bench::experiments::ext::{slowdown_fairness, SlowdownParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    slowdown_fairness(&ExpContext::new(), &SlowdownParams::default());
+}

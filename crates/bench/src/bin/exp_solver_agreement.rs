@@ -1,0 +1,7 @@
+//! E9: solver cross-validation (flow vs brute force vs f64).
+use amf_bench::experiments::perf::{solver_agreement, AgreementParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    solver_agreement(&ExpContext::new(), &AgreementParams::default());
+}

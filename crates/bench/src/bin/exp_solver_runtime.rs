@@ -1,0 +1,7 @@
+//! E8: AMF solver runtime scaling.
+use amf_bench::experiments::perf::{solver_runtime, RuntimeParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    solver_runtime(&ExpContext::new(), &RuntimeParams::default());
+}

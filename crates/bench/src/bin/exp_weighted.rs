@@ -1,0 +1,7 @@
+//! E10: weighted AMF — aggregates track weights.
+use amf_bench::experiments::ext::{weighted_fairness, WeightedParams};
+use amf_bench::ExpContext;
+
+fn main() {
+    weighted_fairness(&ExpContext::new(), &WeightedParams::default());
+}

@@ -1,0 +1,9 @@
+//! Run every experiment (E1–E9) with default parameters, printing each
+//! table and writing CSVs to the results directory.
+use amf_bench::{experiments, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::new();
+    experiments::run_all(&ctx);
+    ctx.write_report();
+}

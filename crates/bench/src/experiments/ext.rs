@@ -1,0 +1,844 @@
+//! Extension experiments beyond the abstract's explicit claims.
+//!
+//! * **E10 — weighted AMF**: the natural generalization (max-min fairness
+//!   on `A_j / w_j`); verifies that aggregate allocations track weights
+//!   under contention.
+//! * **E11 — the price of sharing incentive**: what Enhanced AMF's floors
+//!   cost relative to plain AMF (total allocation, minimum share, Jain),
+//!   measured on the same random-instance family whose SI violations E6
+//!   quantifies.
+
+use crate::ExpContext;
+use amf_core::{AllocationPolicy, AmfSolver, Instance};
+use amf_metrics::{fmt4, jain_index, min_share, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for E10.
+#[derive(Debug, Clone)]
+pub struct WeightedParams {
+    /// Weight classes assigned round-robin to jobs.
+    pub weight_classes: Vec<f64>,
+    /// Jobs.
+    pub n_jobs: usize,
+    /// Sites.
+    pub n_sites: usize,
+    /// Seeds averaged over.
+    pub seeds: u64,
+}
+
+impl Default for WeightedParams {
+    fn default() -> Self {
+        WeightedParams {
+            weight_classes: vec![1.0, 2.0, 4.0],
+            n_jobs: 60,
+            n_sites: 8,
+            seeds: 5,
+        }
+    }
+}
+
+impl WeightedParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        WeightedParams {
+            weight_classes: vec![1.0, 2.0],
+            n_jobs: 8,
+            n_sites: 3,
+            seeds: 1,
+        }
+    }
+}
+
+/// E10: mean aggregate and mean normalized aggregate (`A_j / w_j`) per
+/// weight class, weighted AMF vs unweighted AMF.
+pub fn weighted_fairness(ctx: &ExpContext, params: &WeightedParams) -> Table {
+    ctx.log(&format!("[E10] weighted AMF: {params:?}"));
+    let classes = &params.weight_classes;
+    let mut table = Table::new(
+        "E10: weighted AMF — aggregates track weights under contention",
+        &[
+            "weight",
+            "mean_agg_weighted",
+            "mean_norm_weighted",
+            "mean_agg_unweighted",
+        ],
+    );
+    let mut agg_w = vec![0.0; classes.len()];
+    let mut norm_w = vec![0.0; classes.len()];
+    let mut agg_u = vec![0.0; classes.len()];
+    let mut count = vec![0usize; classes.len()];
+    for seed in 0..params.seeds {
+        // Elastic-style contention so weights actually bind.
+        let base = super::skewed_workload(1.0, params.n_jobs, params.n_sites, params.n_sites.min(4), seed);
+        let unweighted = base.instance();
+        let weights: Vec<f64> = (0..params.n_jobs)
+            .map(|j| classes[j % classes.len()])
+            .collect();
+        let weighted = Instance::weighted(
+            unweighted.capacities().to_vec(),
+            unweighted.demands().to_vec(),
+            weights.clone(),
+        )
+        .expect("valid weighted instance");
+        let aw = AmfSolver::new().allocate(&weighted);
+        let au = AmfSolver::new().allocate(&unweighted);
+        for j in 0..params.n_jobs {
+            let k = j % classes.len();
+            agg_w[k] += aw.aggregate(j);
+            norm_w[k] += aw.aggregate(j) / weights[j];
+            agg_u[k] += au.aggregate(j);
+            count[k] += 1;
+        }
+    }
+    for (k, &w) in classes.iter().enumerate() {
+        let c = count[k] as f64;
+        table.row(vec![
+            format!("{w:.0}"),
+            fmt4(agg_w[k] / c),
+            fmt4(norm_w[k] / c),
+            fmt4(agg_u[k] / c),
+        ]);
+    }
+    ctx.emit("e10_weighted", &table);
+    table
+}
+
+/// Parameters for E11.
+#[derive(Debug, Clone)]
+pub struct SiPriceParams {
+    /// Demand-sparsity levels (as in E6).
+    pub sparsity_levels: Vec<f64>,
+    /// Random instances per level.
+    pub trials: usize,
+    /// Max jobs.
+    pub max_jobs: usize,
+    /// Max sites.
+    pub max_sites: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for SiPriceParams {
+    fn default() -> Self {
+        SiPriceParams {
+            sparsity_levels: vec![0.0, 0.2, 0.4],
+            trials: 1500,
+            max_jobs: 6,
+            max_sites: 4,
+            seed: 23,
+        }
+    }
+}
+
+impl SiPriceParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        SiPriceParams {
+            sparsity_levels: vec![0.2],
+            trials: 50,
+            max_jobs: 4,
+            max_sites: 3,
+            seed: 23,
+        }
+    }
+}
+
+/// E11: Enhanced AMF vs plain AMF — relative total allocation, minimum
+/// share, and Jain index. Quantifies what (if anything) the
+/// sharing-incentive floors cost.
+pub fn si_price(ctx: &ExpContext, params: &SiPriceParams) -> Table {
+    ctx.log(&format!("[E11] price of sharing incentive: {params:?}"));
+    let mut table = Table::new(
+        "E11: Enhanced AMF vs plain AMF (means over random instances)",
+        &[
+            "sparsity",
+            "total_ratio",
+            "min_share_ratio",
+            "jain_plain",
+            "jain_enhanced",
+        ],
+    );
+    for &sparsity in &params.sparsity_levels {
+        let mut total_ratio = 0.0;
+        let mut min_ratio = 0.0;
+        let mut jain_p = 0.0;
+        let mut jain_e = 0.0;
+        let mut counted = 0usize;
+        for trial in 0..params.trials {
+            let mut rng =
+                StdRng::seed_from_u64(params.seed ^ (trial as u64).wrapping_mul(0xA5A5));
+            let n = rng.gen_range(2..=params.max_jobs.max(2));
+            let m = rng.gen_range(2..=params.max_sites.max(2));
+            let inst: Instance<f64> = Instance::new(
+                (0..m).map(|_| rng.gen_range(1..12) as f64).collect(),
+                (0..n)
+                    .map(|_| {
+                        (0..m)
+                            .map(|_| {
+                                if rng.gen_bool(sparsity) {
+                                    0.0
+                                } else {
+                                    rng.gen_range(1..10) as f64
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            )
+            .expect("valid instance");
+            let plain = AmfSolver::new().allocate(&inst);
+            let enhanced = AmfSolver::enhanced().allocate(&inst);
+            if plain.total() <= 0.0 {
+                continue;
+            }
+            counted += 1;
+            total_ratio += enhanced.total() / plain.total();
+            let mp = min_share(plain.aggregates());
+            let me = min_share(enhanced.aggregates());
+            min_ratio += if mp > 0.0 { me / mp } else { 1.0 };
+            jain_p += jain_index(plain.aggregates());
+            jain_e += jain_index(enhanced.aggregates());
+        }
+        let c = counted.max(1) as f64;
+        table.row(vec![
+            format!("{sparsity:.1}"),
+            fmt4(total_ratio / c),
+            fmt4(min_ratio / c),
+            fmt4(jain_p / c),
+            fmt4(jain_e / c),
+        ]);
+    }
+    ctx.emit("e11_si_price", &table);
+    table
+}
+
+/// Parameters for E12.
+#[derive(Debug, Clone)]
+pub struct QuantumParams {
+    /// Reallocation quanta swept (0 encodes event-driven).
+    pub quanta: Vec<f64>,
+    /// Jobs per batch.
+    pub n_jobs: usize,
+    /// Sites.
+    pub n_sites: usize,
+    /// Skew.
+    pub alpha: f64,
+    /// Seeds averaged over.
+    pub seeds: u64,
+}
+
+impl Default for QuantumParams {
+    fn default() -> Self {
+        QuantumParams {
+            quanta: vec![0.0, 5.0, 20.0, 50.0, 100.0],
+            n_jobs: 40,
+            n_sites: 8,
+            alpha: 1.2,
+            seeds: 3,
+        }
+    }
+}
+
+impl QuantumParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        QuantumParams {
+            quanta: vec![0.0, 50.0],
+            n_jobs: 6,
+            n_sites: 3,
+            alpha: 1.2,
+            seeds: 1,
+        }
+    }
+}
+
+/// E12: the cost of scheduling-round staleness — mean JCT and
+/// reallocation count as the reallocation quantum grows (0 =
+/// event-driven, the idealized fluid model used elsewhere).
+pub fn reallocation_quantum(ctx: &ExpContext, params: &QuantumParams) -> Table {
+    use amf_metrics::fmt2;
+    use amf_sim::{simulate, SimConfig, SplitStrategy};
+    use amf_workload::trace::Trace;
+
+    ctx.log(&format!("[E12] reallocation quantum: {params:?}"));
+    let mut table = Table::new(
+        "E12: mean JCT and scheduler invocations vs reallocation quantum",
+        &["quantum", "mean_jct", "makespan", "reallocations"],
+    );
+    for &q in &params.quanta {
+        let mut jct = 0.0;
+        let mut makespan = 0.0;
+        let mut reallocs = 0usize;
+        for seed in 0..params.seeds {
+            let trace = Trace::batch(&super::elastic_workload(
+                params.alpha,
+                params.n_jobs,
+                params.n_sites,
+                params.n_sites.min(4),
+                seed,
+            ));
+            let config = SimConfig {
+                split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                reallocation_quantum: if q > 0.0 { Some(q) } else { None },
+            };
+            let report = simulate(&trace, &AmfSolver::new(), &config);
+            jct += report.mean_jct();
+            makespan += report.makespan;
+            reallocs += report.reallocations;
+        }
+        let k = params.seeds as f64;
+        table.row(vec![
+            if q > 0.0 {
+                format!("{q:.0}")
+            } else {
+                "event-driven".to_owned()
+            },
+            fmt2(jct / k),
+            fmt2(makespan / k),
+            format!("{}", reallocs / params.seeds as usize),
+        ]);
+    }
+    ctx.emit("e12_quantum", &table);
+    table
+}
+
+/// Parameters for E13.
+#[derive(Debug, Clone)]
+pub struct SlowdownParams {
+    /// Offered load.
+    pub load: f64,
+    /// Jobs.
+    pub n_jobs: usize,
+    /// Sites.
+    pub n_sites: usize,
+    /// Sites per job.
+    pub sites_per_job: usize,
+    /// Skew.
+    pub alpha: f64,
+    /// Mean job work.
+    pub mean_work: f64,
+    /// Seeds averaged over.
+    pub seeds: u64,
+}
+
+impl Default for SlowdownParams {
+    fn default() -> Self {
+        SlowdownParams {
+            load: 0.85,
+            n_jobs: 100,
+            n_sites: 8,
+            sites_per_job: 4,
+            alpha: 1.2,
+            mean_work: 800.0,
+            seeds: 3,
+        }
+    }
+}
+
+impl SlowdownParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        SlowdownParams {
+            load: 0.5,
+            n_jobs: 10,
+            n_sites: 3,
+            sites_per_job: 2,
+            alpha: 1.2,
+            mean_work: 200.0,
+            seeds: 1,
+        }
+    }
+}
+
+/// E13: per-job **slowdown** (JCT divided by the job's alone-in-the-
+/// system completion time) under load: the classic online fairness
+/// metric. Fair policies bound the tail; SRPT (the efficiency reference)
+/// minimizes the mean but lets the tail explode.
+pub fn slowdown_fairness(ctx: &ExpContext, params: &SlowdownParams) -> Table {
+    use amf_core::PerSiteMaxMin;
+    use amf_metrics::{fmt2, percentile};
+    use amf_sim::{simulate, simulate_dynamic, SimConfig, SplitStrategy, SrptPerSite};
+    use amf_workload::arrivals::{poisson_arrivals, rate_for_load};
+    use amf_workload::trace::Trace;
+    use amf_workload::{
+        CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    ctx.log(&format!("[E13] slowdown fairness: {params:?}"));
+    let mut table = Table::new(
+        "E13: per-job slowdown at load (JCT / alone-in-system JCT)",
+        &["policy", "mean", "p95", "max", "jain"],
+    );
+    let mut acc: Vec<(String, Vec<f64>)> = vec![
+        ("amf+jct".into(), Vec::new()),
+        ("per-site-max-min".into(), Vec::new()),
+        ("srpt-per-site".into(), Vec::new()),
+    ];
+    for seed in 0..params.seeds {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97) + 5);
+        let workload = WorkloadConfig {
+            n_sites: params.n_sites,
+            site_capacity: 100.0,
+            capacity_model: CapacityModel::Uniform,
+            n_jobs: params.n_jobs,
+            sites_per_job: params.sites_per_job,
+            // Heavy-tailed sizes: fairness-vs-SRPT differences live in the
+            // tail (with light tails SRPT rarely starves anyone).
+            total_work: SizeDist::BoundedPareto {
+                shape: 1.2,
+                min: params.mean_work / 10.0,
+                max: params.mean_work * 40.0,
+            },
+            total_parallelism: SizeDist::Constant { value: 30.0 },
+            skew: SiteSkew::Zipf { alpha: params.alpha },
+            placement: SitePlacement::Popularity { gamma: 1.0 },
+            demand_model: DemandModel::ElasticPerSite,
+        }
+        .generate(&mut rng);
+        let mean_work = SizeDist::BoundedPareto {
+            shape: 1.2,
+            min: params.mean_work / 10.0,
+            max: params.mean_work * 40.0,
+        }
+        .mean();
+        let rate = rate_for_load(params.load, 100.0 * params.n_sites as f64, mean_work);
+        let arrivals = poisson_arrivals(params.n_jobs, rate, &mut rng);
+        let trace = Trace::with_arrivals(&workload, &arrivals);
+        // Alone-in-system ideal: slowest portion at full demand/capacity.
+        let ideals: Vec<f64> = trace
+            .jobs
+            .iter()
+            .map(|j| {
+                (0..params.n_sites)
+                    .map(|s| {
+                        if j.work[s] > 0.0 {
+                            j.work[s] / j.demand[s].min(trace.capacities[s])
+                        } else {
+                            0.0
+                        }
+                    })
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        let reports = [
+            simulate(
+                &trace,
+                &AmfSolver::new(),
+                &SimConfig {
+                    split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                    ..SimConfig::default()
+                },
+            ),
+            simulate(&trace, &PerSiteMaxMin, &SimConfig::default()),
+            simulate_dynamic(&trace, &SrptPerSite),
+        ];
+        for (slot, report) in acc.iter_mut().zip(&reports) {
+            for (outcome, &ideal) in report.jobs.iter().zip(&ideals) {
+                if let (Some(jct), true) = (outcome.jct(), ideal > 0.0) {
+                    slot.1.push(jct / ideal);
+                }
+            }
+        }
+    }
+    for (name, slowdowns) in &acc {
+        let mean = slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64;
+        table.row(vec![
+            name.clone(),
+            fmt2(mean),
+            fmt2(percentile(slowdowns, 95.0)),
+            fmt2(slowdowns.iter().copied().fold(0.0, f64::max)),
+            amf_metrics::fmt4(amf_metrics::jain_index(slowdowns)),
+        ]);
+    }
+    ctx.emit("e13_slowdown", &table);
+    table
+}
+
+/// Parameters for E14.
+#[derive(Debug, Clone)]
+pub struct FairnessPriceParams {
+    /// Skew levels swept.
+    pub alphas: Vec<f64>,
+    /// Jobs per batch.
+    pub n_jobs: usize,
+    /// Sites.
+    pub n_sites: usize,
+    /// Seeds averaged over.
+    pub seeds: u64,
+}
+
+impl Default for FairnessPriceParams {
+    fn default() -> Self {
+        FairnessPriceParams {
+            alphas: vec![0.0, 1.0, 2.0],
+            n_jobs: 50,
+            n_sites: 8,
+            seeds: 3,
+        }
+    }
+}
+
+impl FairnessPriceParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        FairnessPriceParams {
+            alphas: vec![1.0],
+            n_jobs: 8,
+            n_sites: 3,
+            seeds: 1,
+        }
+    }
+}
+
+/// E14: the **price of fairness** — mean JCT of the fair policies divided
+/// by SRPT's (the unfair mean-JCT reference that needs job-size oracles
+/// and offers no isolation). Quantifies what AMF's guarantees cost in raw
+/// efficiency.
+pub fn fairness_price(ctx: &ExpContext, params: &FairnessPriceParams) -> Table {
+    use amf_core::PerSiteMaxMin;
+    use amf_metrics::fmt4;
+    use amf_sim::{simulate, simulate_dynamic, SimConfig, SplitStrategy, SrptPerSite};
+    use amf_workload::trace::Trace;
+
+    ctx.log(&format!("[E14] price of fairness: {params:?}"));
+    let mut table = Table::new(
+        "E14: mean-JCT ratio vs the SRPT efficiency reference",
+        &["alpha", "amf+jct/srpt", "psmf/srpt"],
+    );
+    for &alpha in &params.alphas {
+        let mut amf = 0.0;
+        let mut psmf = 0.0;
+        let mut srpt = 0.0;
+        for seed in 0..params.seeds {
+            let trace = Trace::batch(&super::elastic_workload(
+                alpha,
+                params.n_jobs,
+                params.n_sites,
+                params.n_sites.min(4),
+                seed,
+            ));
+            amf += simulate(
+                &trace,
+                &AmfSolver::new(),
+                &SimConfig {
+                    split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                    ..SimConfig::default()
+                },
+            )
+            .mean_jct();
+            psmf += simulate(&trace, &PerSiteMaxMin, &SimConfig::default()).mean_jct();
+            srpt += simulate_dynamic(&trace, &SrptPerSite).mean_jct();
+        }
+        table.row(vec![
+            format!("{alpha:.1}"),
+            fmt4(amf / srpt),
+            fmt4(psmf / srpt),
+        ]);
+    }
+    ctx.emit("e14_fairness_price", &table);
+    table
+}
+
+/// Parameters for E15.
+#[derive(Debug, Clone)]
+pub struct ServiceFairnessParams {
+    /// Offered load.
+    pub load: f64,
+    /// Jobs injected.
+    pub n_jobs: usize,
+    /// Sites.
+    pub n_sites: usize,
+    /// Sites per job.
+    pub sites_per_job: usize,
+    /// Mean job work.
+    pub mean_work: f64,
+    /// Sampling interval for the fairness timeline.
+    pub sample_every: f64,
+    /// Seeds averaged over.
+    pub seeds: u64,
+}
+
+impl Default for ServiceFairnessParams {
+    fn default() -> Self {
+        ServiceFairnessParams {
+            load: 0.7,
+            n_jobs: 80,
+            n_sites: 8,
+            sites_per_job: 4,
+            mean_work: 800.0,
+            sample_every: 20.0,
+            seeds: 3,
+        }
+    }
+}
+
+impl ServiceFairnessParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        ServiceFairnessParams {
+            load: 0.5,
+            n_jobs: 8,
+            n_sites: 3,
+            sites_per_job: 2,
+            mean_work: 200.0,
+            sample_every: 10.0,
+            seeds: 1,
+        }
+    }
+}
+
+/// E15: fairness of *service over time* in the online setting, measured
+/// by driving the embeddable [`Scheduler`](amf_sim::scheduler::Scheduler):
+/// at every sampling instant, the Jain index of active jobs'
+/// `service / time-in-system` (their average received rate). The online
+/// form of the abstract's balance claim.
+pub fn service_fairness(ctx: &ExpContext, params: &ServiceFairnessParams) -> Table {
+    use amf_core::PerSiteMaxMin;
+    use amf_metrics::{fmt4, jain_index};
+    use amf_sim::scheduler::Scheduler;
+    use amf_sim::DynamicPolicy;
+    use amf_workload::arrivals::{poisson_arrivals, rate_for_load};
+    use amf_workload::{
+        CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    ctx.log(&format!("[E15] service fairness over time: {params:?}"));
+    let mut table = Table::new(
+        "E15: Jain index of active jobs' average service rate (timeline mean)",
+        &["policy", "mean_jain", "min_jain", "samples"],
+    );
+    let make_policies = || -> Vec<(&'static str, Box<dyn DynamicPolicy>)> {
+        vec![
+            ("amf", Box::new(AmfSolver::new())),
+            ("per-site-max-min", Box::new(PerSiteMaxMin)),
+        ]
+    };
+    let mut acc: Vec<(f64, f64, usize)> = vec![(0.0, f64::INFINITY, 0); 2];
+    for seed in 0..params.seeds {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(131) + 7);
+        let workload = WorkloadConfig {
+            n_sites: params.n_sites,
+            site_capacity: 100.0,
+            capacity_model: CapacityModel::Uniform,
+            n_jobs: params.n_jobs,
+            sites_per_job: params.sites_per_job,
+            total_work: SizeDist::Exponential {
+                mean: params.mean_work,
+            },
+            total_parallelism: SizeDist::Constant { value: 30.0 },
+            skew: SiteSkew::Zipf { alpha: 1.2 },
+            placement: SitePlacement::Popularity { gamma: 1.0 },
+            demand_model: DemandModel::ElasticPerSite,
+        }
+        .generate(&mut rng);
+        let rate = rate_for_load(params.load, 100.0 * params.n_sites as f64, params.mean_work);
+        let arrivals = poisson_arrivals(params.n_jobs, rate, &mut rng);
+
+        for (p, (_, policy)) in make_policies().into_iter().enumerate() {
+            let mut sched = Scheduler::new(vec![100.0; params.n_sites], policy);
+            let mut ids = Vec::new();
+            let mut next_arrival = 0usize;
+            let mut next_sample = params.sample_every;
+            let mut jains = Vec::new();
+            let horizon = arrivals.last().copied().unwrap_or(0.0) + 20.0 * params.mean_work / 100.0;
+            while sched.now() < horizon || sched.active_count() > 0 {
+                // Next boundary: arrival or sample.
+                let t_arr = arrivals.get(next_arrival).copied().unwrap_or(f64::INFINITY);
+                let t_next = t_arr.min(next_sample);
+                if !t_next.is_finite() && sched.active_count() == 0 {
+                    break;
+                }
+                let step = (t_next - sched.now()).max(0.0);
+                if step.is_finite() {
+                    sched.advance(step);
+                } else {
+                    sched.advance(10.0 * params.mean_work / 100.0);
+                }
+                if (sched.now() - t_arr).abs() < 1e-9 {
+                    let job = &workload.jobs[next_arrival];
+                    ids.push(sched.submit(job.work.clone(), job.demand.clone()));
+                    next_arrival += 1;
+                }
+                if sched.now() + 1e-9 >= next_sample {
+                    next_sample = sched.now() + params.sample_every;
+                    let rates: Vec<f64> = ids
+                        .iter()
+                        .filter_map(|&id| {
+                            let j = sched.job(id);
+                            if j.completed_at.is_none() && sched.now() > j.submitted_at {
+                                Some(j.service / (sched.now() - j.submitted_at))
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    if rates.len() >= 2 {
+                        jains.push(jain_index(&rates));
+                    }
+                }
+                if sched.now() > 100.0 * horizon {
+                    break; // starvation guard; cannot happen with positive caps
+                }
+            }
+            let mean = jains.iter().sum::<f64>() / jains.len().max(1) as f64;
+            let min = jains.iter().copied().fold(f64::INFINITY, f64::min);
+            acc[p].0 += mean;
+            acc[p].1 = acc[p].1.min(min);
+            acc[p].2 += jains.len();
+        }
+    }
+    for ((name, _), (mean_sum, min, samples)) in make_policies().iter().zip(&acc) {
+        table.row(vec![
+            name.to_string(),
+            fmt4(mean_sum / params.seeds as f64),
+            fmt4(if min.is_finite() { *min } else { 1.0 }),
+            samples.to_string(),
+        ]);
+    }
+    ctx.emit("e15_service_fairness", &table);
+    table
+}
+
+/// Parameters for E16.
+#[derive(Debug, Clone)]
+pub struct GranularityParams {
+    /// Task durations swept (smaller = closer to fluid).
+    pub task_durations: Vec<f64>,
+    /// Jobs per batch.
+    pub n_jobs: usize,
+    /// Sites.
+    pub n_sites: usize,
+    /// Skew.
+    pub alpha: f64,
+    /// Seeds averaged over.
+    pub seeds: u64,
+}
+
+impl Default for GranularityParams {
+    fn default() -> Self {
+        GranularityParams {
+            task_durations: vec![5.0, 20.0, 80.0],
+            n_jobs: 30,
+            n_sites: 6,
+            alpha: 1.2,
+            seeds: 3,
+        }
+    }
+}
+
+impl GranularityParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        GranularityParams {
+            task_durations: vec![50.0],
+            n_jobs: 6,
+            n_sites: 3,
+            alpha: 1.2,
+            seeds: 1,
+        }
+    }
+}
+
+/// E16: execution-granularity check — mean JCT of the same workload under
+/// the fluid engine, the slot-rounded engine, and the task-granular
+/// (non-preemptive) engine across task durations. Verifies the fluid
+/// results used everywhere else are not an artifact of infinite
+/// divisibility.
+pub fn granularity(ctx: &ExpContext, params: &GranularityParams) -> Table {
+    use amf_metrics::fmt2;
+    use amf_sim::slots::simulate_slots;
+    use amf_sim::tasks::{simulate_tasks, TaskTrace};
+    use amf_sim::{simulate, SimConfig};
+    use amf_workload::trace::Trace;
+
+    ctx.log(&format!("[E16] execution granularity: {params:?}"));
+    let mut table = Table::new(
+        "E16: mean JCT — fluid vs slot-rounded vs task-granular engines",
+        &["task_duration", "fluid", "slots", "tasks", "tasks/fluid"],
+    );
+    for &dur in &params.task_durations {
+        let mut fluid = 0.0;
+        let mut slots = 0.0;
+        let mut tasks = 0.0;
+        for seed in 0..params.seeds {
+            let trace = Trace::batch(&super::elastic_workload(
+                params.alpha,
+                params.n_jobs,
+                params.n_sites,
+                params.n_sites.min(3),
+                seed,
+            ));
+            fluid += simulate(&trace, &AmfSolver::new(), &SimConfig::default()).mean_jct();
+            slots += simulate_slots(&trace, &AmfSolver::new()).mean_jct();
+            let task_trace = TaskTrace::from_trace(&trace, dur);
+            tasks += simulate_tasks(&task_trace, &AmfSolver::new()).mean_jct();
+        }
+        let k = params.seeds as f64;
+        table.row(vec![
+            format!("{dur:.0}"),
+            fmt2(fluid / k),
+            fmt2(slots / k),
+            fmt2(tasks / k),
+            amf_metrics::fmt4(tasks / fluid),
+        ]);
+    }
+    ctx.emit("e16_granularity", &table);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e16_runs() {
+        let params = GranularityParams::fast();
+        let table = granularity(&ExpContext::silent(), &params);
+        assert_eq!(table.n_rows(), params.task_durations.len());
+    }
+
+    #[test]
+    fn e15_runs() {
+        let table = service_fairness(&ExpContext::silent(), &ServiceFairnessParams::fast());
+        assert_eq!(table.n_rows(), 2);
+    }
+
+    #[test]
+    fn e14_runs() {
+        let params = FairnessPriceParams::fast();
+        let table = fairness_price(&ExpContext::silent(), &params);
+        assert_eq!(table.n_rows(), params.alphas.len());
+    }
+
+    #[test]
+    fn e13_runs() {
+        let table = slowdown_fairness(&ExpContext::silent(), &SlowdownParams::fast());
+        assert_eq!(table.n_rows(), 3);
+    }
+
+    #[test]
+    fn e12_runs_and_coarse_quanta_reduce_invocations() {
+        let params = QuantumParams::fast();
+        let table = reallocation_quantum(&ExpContext::silent(), &params);
+        assert_eq!(table.n_rows(), params.quanta.len());
+    }
+
+    #[test]
+    fn e10_weighted_classes_track_weights() {
+        let params = WeightedParams::fast();
+        let table = weighted_fairness(&ExpContext::silent(), &params);
+        assert_eq!(table.n_rows(), params.weight_classes.len());
+    }
+
+    #[test]
+    fn e11_runs() {
+        let params = SiPriceParams::fast();
+        let table = si_price(&ExpContext::silent(), &params);
+        assert_eq!(table.n_rows(), params.sparsity_levels.len());
+    }
+}

@@ -1,0 +1,267 @@
+//! E3 — job completion time vs skew; E4 — JCT scaling in sites and jobs.
+//!
+//! Abstract claim under test: AMF beats the per-site baseline "in job
+//! completion time, particularly when the workload distribution of jobs
+//! among sites is highly skewed"; the JCT add-on further optimizes
+//! completion times under AMF.
+
+use crate::{zipf_sweep, ExpContext};
+use amf_core::{AllocationPolicy, AmfSolver, PerSiteMaxMin};
+use amf_metrics::{fmt2, fmt4, percentile, Chart, Table};
+use amf_sim::{simulate, SimConfig, SplitStrategy};
+use amf_workload::trace::Trace;
+use rayon::prelude::*;
+
+/// The policy × split combinations the JCT experiments compare.
+fn contenders() -> Vec<(&'static str, Box<dyn AllocationPolicy<f64>>, SimConfig)> {
+    vec![
+        (
+            "amf",
+            Box::new(AmfSolver::new()) as Box<dyn AllocationPolicy<f64>>,
+            SimConfig {
+                split: SplitStrategy::PolicySplit,
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "amf+jct",
+            Box::new(AmfSolver::new()),
+            SimConfig {
+                split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "per-site-max-min",
+            Box::new(PerSiteMaxMin),
+            SimConfig {
+                split: SplitStrategy::PolicySplit,
+                ..SimConfig::default()
+            },
+        ),
+    ]
+}
+
+/// Parameters for E3.
+#[derive(Debug, Clone, Copy)]
+pub struct JctSkewParams {
+    /// Jobs per batch.
+    pub n_jobs: usize,
+    /// Sites.
+    pub n_sites: usize,
+    /// Sites each job touches.
+    pub sites_per_job: usize,
+    /// Seeds averaged over.
+    pub seeds: u64,
+}
+
+impl Default for JctSkewParams {
+    fn default() -> Self {
+        JctSkewParams {
+            n_jobs: 60,
+            n_sites: 10,
+            sites_per_job: 5,
+            seeds: 5,
+        }
+    }
+}
+
+impl JctSkewParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        JctSkewParams {
+            n_jobs: 8,
+            n_sites: 3,
+            sites_per_job: 2,
+            seeds: 1,
+        }
+    }
+}
+
+/// E3: batch workload run to completion for each skew level; mean JCT,
+/// tail JCT and makespan per contender.
+pub fn jct_vs_skew(ctx: &ExpContext, params: &JctSkewParams) -> Table {
+    ctx.log(&format!(
+        "[E3] JCT vs skew: {params:?}, alphas {:?}",
+        zipf_sweep()
+    ));
+    let mut table = Table::new(
+        "E3: batch job completion times vs skew (mean over seeds)",
+        &["alpha", "policy", "mean_jct", "p95_jct", "makespan", "util"],
+    );
+    let rows: Vec<(f64, &'static str, [f64; 4])> = zipf_sweep()
+        .into_par_iter()
+        .flat_map_iter(|alpha| {
+            let mut acc: Vec<[f64; 4]> = vec![[0.0; 4]; contenders().len()];
+            for seed in 0..params.seeds {
+                let workload = super::elastic_workload(
+                    alpha,
+                    params.n_jobs,
+                    params.n_sites,
+                    params.sites_per_job,
+                    seed,
+                );
+                let trace = Trace::batch(&workload);
+                for (c, (_, policy, config)) in contenders().iter().enumerate() {
+                    let report = simulate(&trace, policy.as_ref(), config);
+                    debug_assert!(report.all_finished());
+                    let jcts = report.jcts();
+                    acc[c][0] += report.mean_jct();
+                    acc[c][1] += percentile(&jcts, 95.0);
+                    acc[c][2] += report.makespan;
+                    acc[c][3] += report.mean_utilization;
+                }
+            }
+            contenders()
+                .iter()
+                .enumerate()
+                .map(|(c, (name, _, _))| {
+                    (alpha, *name, acc[c].map(|v| v / params.seeds as f64))
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut chart = Chart::new("E3 (figure view): mean JCT vs skew");
+    for (policy, _, _) in contenders() {
+        let pts: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|(_, name, _)| *name == policy)
+            .map(|&(alpha, _, m)| (alpha, m[0]))
+            .collect();
+        chart.series(policy, &pts);
+    }
+    for (alpha, name, m) in rows {
+        table.row(vec![
+            format!("{alpha:.1}"),
+            name.to_owned(),
+            fmt2(m[0]),
+            fmt2(m[1]),
+            fmt2(m[2]),
+            fmt4(m[3]),
+        ]);
+    }
+    ctx.emit("e3_jct_vs_skew", &table);
+    ctx.emit_chart(&chart);
+    table
+}
+
+/// Parameters for E4.
+#[derive(Debug, Clone)]
+pub struct JctScalingParams {
+    /// Site counts swept (with `n_jobs_fixed` jobs).
+    pub site_counts: Vec<usize>,
+    /// Job counts swept (with `n_sites_fixed` sites).
+    pub job_counts: Vec<usize>,
+    /// Jobs used in the site sweep.
+    pub n_jobs_fixed: usize,
+    /// Sites used in the job sweep.
+    pub n_sites_fixed: usize,
+    /// Skew level.
+    pub alpha: f64,
+    /// Seeds averaged over.
+    pub seeds: u64,
+}
+
+impl Default for JctScalingParams {
+    fn default() -> Self {
+        JctScalingParams {
+            site_counts: vec![2, 4, 8, 16, 32],
+            job_counts: vec![10, 25, 50, 100],
+            n_jobs_fixed: 40,
+            n_sites_fixed: 8,
+            alpha: 1.2,
+            seeds: 3,
+        }
+    }
+}
+
+impl JctScalingParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        JctScalingParams {
+            site_counts: vec![2, 3],
+            job_counts: vec![4, 6],
+            n_jobs_fixed: 6,
+            n_sites_fixed: 3,
+            alpha: 1.2,
+            seeds: 1,
+        }
+    }
+}
+
+fn scaling_row(
+    n_jobs: usize,
+    n_sites: usize,
+    alpha: f64,
+    seeds: u64,
+) -> Vec<f64> {
+    let list = contenders();
+    let mut mean = vec![0.0f64; list.len()];
+    for seed in 0..seeds {
+        let sites_per_job = n_sites.clamp(1, 5);
+        let workload = super::elastic_workload(alpha, n_jobs, n_sites, sites_per_job, seed);
+        let trace = Trace::batch(&workload);
+        for (c, (_, policy, config)) in list.iter().enumerate() {
+            mean[c] += simulate(&trace, policy.as_ref(), config).mean_jct();
+        }
+    }
+    mean.iter().map(|v| v / seeds as f64).collect()
+}
+
+/// E4: mean JCT as the number of sites (resp. jobs) grows; reports the
+/// AMF-vs-baseline ratio so the trend is scale-free.
+pub fn jct_scaling(ctx: &ExpContext, params: &JctScalingParams) -> (Table, Table) {
+    ctx.log(&format!("[E4] JCT scaling: {params:?}"));
+    let names: Vec<&str> = contenders().iter().map(|(n, _, _)| *n).collect();
+    let header: Vec<&str> = std::iter::once("x")
+        .chain(names.iter().copied())
+        .chain(std::iter::once("amf+jct/psmf"))
+        .collect();
+
+    let mut by_sites = Table::new("E4a: mean JCT vs number of sites", &header);
+    let site_rows: Vec<(usize, Vec<f64>)> = params
+        .site_counts
+        .par_iter()
+        .map(|&m| (m, scaling_row(params.n_jobs_fixed, m, params.alpha, params.seeds)))
+        .collect();
+    for (m, mean) in site_rows {
+        let mut cells = vec![m.to_string()];
+        cells.extend(mean.iter().map(|v| fmt2(*v)));
+        cells.push(fmt4(mean[1] / mean[2]));
+        by_sites.row(cells);
+    }
+    ctx.emit("e4a_jct_vs_sites", &by_sites);
+
+    let mut by_jobs = Table::new("E4b: mean JCT vs number of jobs", &header);
+    let job_rows: Vec<(usize, Vec<f64>)> = params
+        .job_counts
+        .par_iter()
+        .map(|&n| (n, scaling_row(n, params.n_sites_fixed, params.alpha, params.seeds)))
+        .collect();
+    for (n, mean) in job_rows {
+        let mut cells = vec![n.to_string()];
+        cells.extend(mean.iter().map(|v| fmt2(*v)));
+        cells.push(fmt4(mean[1] / mean[2]));
+        by_jobs.row(cells);
+    }
+    ctx.emit("e4b_jct_vs_jobs", &by_jobs);
+    (by_sites, by_jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_runs_and_covers_grid() {
+        let table = jct_vs_skew(&ExpContext::silent(), &JctSkewParams::fast());
+        assert_eq!(table.n_rows(), zipf_sweep().len() * 3);
+    }
+
+    #[test]
+    fn e4_runs() {
+        let (a, b) = jct_scaling(&ExpContext::silent(), &JctScalingParams::fast());
+        assert_eq!(a.n_rows(), 2);
+        assert_eq!(b.n_rows(), 2);
+    }
+}

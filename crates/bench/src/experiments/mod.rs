@@ -1,0 +1,105 @@
+//! The experiment suite (see EXPERIMENTS.md for the index).
+
+pub mod balance;
+pub mod ext;
+pub mod jct;
+pub mod online;
+pub mod perf;
+pub mod props;
+
+use amf_workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, Workload, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The workload family used across experiments: every job touches
+/// `sites_per_job` sites with Zipf(α)-skewed shares over a
+/// popularity-weighted ranking (γ = 1: popular datasets live on popular
+/// sites, so hot sites collide across jobs); exponential total work;
+/// constant total parallelism.
+///
+/// The popularity coupling matters: with per-job uniform rankings the job
+/// population is symmetric and *every* anonymous policy balances
+/// aggregates, hiding the effect the paper measures.
+pub fn skewed_workload(
+    alpha: f64,
+    n_jobs: usize,
+    n_sites: usize,
+    sites_per_job: usize,
+    seed: u64,
+) -> Workload {
+    WorkloadConfig {
+        n_sites,
+        site_capacity: 100.0,
+        capacity_model: CapacityModel::Uniform,
+        n_jobs,
+        sites_per_job,
+        total_work: SizeDist::Exponential { mean: 2000.0 },
+        total_parallelism: SizeDist::Constant { value: 30.0 },
+        skew: SiteSkew::Zipf { alpha },
+        placement: SitePlacement::Popularity { gamma: 1.0 },
+        demand_model: DemandModel::ProportionalToWork,
+    }
+    .generate(&mut StdRng::seed_from_u64(seed))
+}
+
+/// The workload family for the completion-time experiments (E3/E4/E7):
+/// same skewed work placement, but **elastic** demand caps — the job has
+/// more tasks than slots at every site it touches, so any allocation up to
+/// its parallelism cap is usable anywhere it has work. This is the regime
+/// where the allocation policy (not the demand matrix) governs progress,
+/// and where the paper's JCT comparison is meaningful.
+pub fn elastic_workload(
+    alpha: f64,
+    n_jobs: usize,
+    n_sites: usize,
+    sites_per_job: usize,
+    seed: u64,
+) -> Workload {
+    WorkloadConfig {
+        n_sites,
+        site_capacity: 100.0,
+        capacity_model: CapacityModel::Uniform,
+        n_jobs,
+        sites_per_job,
+        total_work: SizeDist::Exponential { mean: 2000.0 },
+        total_parallelism: SizeDist::Constant { value: 30.0 },
+        skew: SiteSkew::Zipf { alpha },
+        placement: SitePlacement::Popularity { gamma: 1.0 },
+        demand_model: DemandModel::ElasticPerSite,
+    }
+    .generate(&mut StdRng::seed_from_u64(seed))
+}
+
+/// Run the entire suite with default parameters.
+pub fn run_all(ctx: &crate::ExpContext) {
+    balance::balance_vs_skew(ctx, &balance::BalanceParams::default());
+    balance::alloc_cdf(ctx, &balance::CdfParams::default());
+    jct::jct_vs_skew(ctx, &jct::JctSkewParams::default());
+    jct::jct_scaling(ctx, &jct::JctScalingParams::default());
+    props::property_rates(ctx, &props::PropertyParams::default());
+    props::sharing_incentive(ctx, &props::SharingIncentiveParams::default());
+    online::online_load(ctx, &online::OnlineParams::default());
+    perf::solver_runtime(ctx, &perf::RuntimeParams::default());
+    perf::solver_agreement(ctx, &perf::AgreementParams::default());
+    ext::weighted_fairness(ctx, &ext::WeightedParams::default());
+    ext::si_price(ctx, &ext::SiPriceParams::default());
+    ext::reallocation_quantum(ctx, &ext::QuantumParams::default());
+    ext::slowdown_fairness(ctx, &ext::SlowdownParams::default());
+    ext::fairness_price(ctx, &ext::FairnessPriceParams::default());
+    ext::service_fairness(ctx, &ext::ServiceFairnessParams::default());
+    ext::granularity(ctx, &ext::GranularityParams::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_family_is_deterministic() {
+        let a = skewed_workload(1.2, 10, 4, 3, 42);
+        let b = skewed_workload(1.2, 10, 4, 3, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.n_jobs(), 10);
+        assert_eq!(a.n_sites(), 4);
+    }
+}

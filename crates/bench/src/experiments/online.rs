@@ -1,0 +1,162 @@
+//! E7 — online simulation with Poisson arrivals across offered loads.
+
+use crate::ExpContext;
+use amf_core::{AllocationPolicy, AmfSolver, PerSiteMaxMin};
+use amf_metrics::{fmt2, fmt4, percentile, Table};
+use amf_sim::{simulate, SimConfig, SplitStrategy};
+use amf_workload::arrivals::{poisson_arrivals, rate_for_load};
+use amf_workload::trace::Trace;
+use amf_workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Parameters for E7.
+#[derive(Debug, Clone)]
+pub struct OnlineParams {
+    /// Offered loads swept (fraction of total capacity).
+    pub loads: Vec<f64>,
+    /// Jobs per run.
+    pub n_jobs: usize,
+    /// Sites.
+    pub n_sites: usize,
+    /// Sites each job touches.
+    pub sites_per_job: usize,
+    /// Skew of the per-job site distribution.
+    pub alpha: f64,
+    /// Mean job work (task-seconds).
+    pub mean_work: f64,
+    /// Seeds averaged over.
+    pub seeds: u64,
+}
+
+impl Default for OnlineParams {
+    fn default() -> Self {
+        OnlineParams {
+            loads: vec![0.3, 0.5, 0.7, 0.9],
+            n_jobs: 120,
+            n_sites: 10,
+            sites_per_job: 5,
+            alpha: 1.2,
+            mean_work: 800.0,
+            seeds: 3,
+        }
+    }
+}
+
+impl OnlineParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        OnlineParams {
+            loads: vec![0.5],
+            n_jobs: 10,
+            n_sites: 3,
+            sites_per_job: 2,
+            alpha: 1.2,
+            mean_work: 200.0,
+            seeds: 1,
+        }
+    }
+}
+
+/// E7: mean and tail JCT under Poisson arrivals as offered load grows,
+/// AMF (+ JCT add-on) vs the per-site baseline.
+pub fn online_load(ctx: &ExpContext, params: &OnlineParams) -> Table {
+    ctx.log(&format!("[E7] online load sweep: {params:?}"));
+    type Contender = (
+        &'static str,
+        fn() -> Box<dyn AllocationPolicy<f64>>,
+        SimConfig,
+    );
+    let contenders: Vec<Contender> = vec![
+        (
+            "amf+jct",
+            || Box::new(AmfSolver::new()),
+            SimConfig {
+                split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "per-site-max-min",
+            || Box::new(PerSiteMaxMin),
+            SimConfig {
+                split: SplitStrategy::PolicySplit,
+                ..SimConfig::default()
+            },
+        ),
+    ];
+
+    let rows: Vec<(f64, &'static str, f64, f64, f64)> = params
+        .loads
+        .par_iter()
+        .flat_map_iter(|&rho| {
+            let mut acc = vec![(0.0f64, 0.0f64, 0.0f64); contenders.len()];
+            for seed in 0..params.seeds {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31) + 17);
+                let workload = WorkloadConfig {
+                    n_sites: params.n_sites,
+                    site_capacity: 100.0,
+                    capacity_model: CapacityModel::Uniform,
+                    n_jobs: params.n_jobs,
+                    sites_per_job: params.sites_per_job,
+                    total_work: SizeDist::Exponential {
+                        mean: params.mean_work,
+                    },
+                    total_parallelism: SizeDist::Constant { value: 30.0 },
+                    skew: SiteSkew::Zipf { alpha: params.alpha },
+                    placement: SitePlacement::Popularity { gamma: 1.0 },
+        demand_model: DemandModel::ElasticPerSite,
+                }
+                .generate(&mut rng);
+                let total_capacity = 100.0 * params.n_sites as f64;
+                let rate = rate_for_load(rho, total_capacity, params.mean_work);
+                let arrivals = poisson_arrivals(params.n_jobs, rate, &mut rng);
+                let trace = Trace::with_arrivals(&workload, &arrivals);
+                for (c, (_, make_policy, config)) in contenders.iter().enumerate() {
+                    let policy = make_policy();
+                    let report = simulate(&trace, policy.as_ref(), config);
+                    let jcts = report.jcts();
+                    acc[c].0 += report.mean_jct();
+                    acc[c].1 += percentile(&jcts, 95.0);
+                    acc[c].2 += report.mean_utilization;
+                }
+            }
+            contenders
+                .iter()
+                .enumerate()
+                .map(|(c, (name, _, _))| {
+                    let k = params.seeds as f64;
+                    (rho, *name, acc[c].0 / k, acc[c].1 / k, acc[c].2 / k)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "E7: online JCT vs offered load (Poisson arrivals)",
+        &["load", "policy", "mean_jct", "p95_jct", "util"],
+    );
+    for (rho, name, mean, p95, util) in rows {
+        table.row(vec![
+            format!("{rho:.2}"),
+            name.to_owned(),
+            fmt2(mean),
+            fmt2(p95),
+            fmt4(util),
+        ]);
+    }
+    ctx.emit("e7_online_load", &table);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_runs() {
+        let table = online_load(&ExpContext::silent(), &OnlineParams::fast());
+        assert_eq!(table.n_rows(), 2);
+    }
+}

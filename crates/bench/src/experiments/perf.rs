@@ -1,0 +1,193 @@
+//! E8 — solver runtime scaling; E9 — solver agreement (exact vs f64 vs
+//! brute force).
+
+use crate::ExpContext;
+use amf_core::{reference_aggregates, AmfSolver, FairnessMode, Instance};
+use amf_metrics::{fmt4, Table};
+use amf_numeric::Rational;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Parameters for E8.
+#[derive(Debug, Clone)]
+pub struct RuntimeParams {
+    /// Job counts swept.
+    pub job_counts: Vec<usize>,
+    /// Site counts swept.
+    pub site_counts: Vec<usize>,
+    /// Repetitions per point.
+    pub reps: usize,
+}
+
+impl Default for RuntimeParams {
+    fn default() -> Self {
+        RuntimeParams {
+            job_counts: vec![10, 50, 100, 200, 400],
+            site_counts: vec![5, 20],
+            reps: 3,
+        }
+    }
+}
+
+impl RuntimeParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        RuntimeParams {
+            job_counts: vec![5, 10],
+            site_counts: vec![3],
+            reps: 1,
+        }
+    }
+}
+
+/// E8: AMF solver wall time and work counters as the instance grows.
+pub fn solver_runtime(ctx: &ExpContext, params: &RuntimeParams) -> Table {
+    ctx.log(&format!("[E8] solver runtime: {params:?}"));
+    let mut table = Table::new(
+        "E8: AMF solver runtime scaling (f64)",
+        &["jobs", "sites", "ms", "rounds", "max_flows"],
+    );
+    for &m in &params.site_counts {
+        for &n in &params.job_counts {
+            // Hold the contention ratio at 2× (total demand = 30n, total
+            // capacity = 15n) so the sweep measures algorithmic scaling,
+            // not a changing bottleneck structure.
+            let mut workload = super::skewed_workload(1.2, n, m, m.min(5), 99);
+            let site_capacity = 15.0 * n as f64 / m as f64;
+            workload.capacities = vec![site_capacity; m];
+            let inst = workload.instance();
+            let solver = AmfSolver::new();
+            // Warm-up.
+            let _ = solver.solve(&inst);
+            let mut total_ms = 0.0;
+            let mut stats = None;
+            for _ in 0..params.reps {
+                let t0 = Instant::now();
+                let out = solver.solve(&inst);
+                total_ms += t0.elapsed().as_secs_f64() * 1e3;
+                stats = Some(out.stats);
+            }
+            let stats = stats.expect("at least one rep");
+            table.row(vec![
+                n.to_string(),
+                m.to_string(),
+                fmt4(total_ms / params.reps as f64),
+                stats.rounds.to_string(),
+                stats.max_flows.to_string(),
+            ]);
+        }
+    }
+    ctx.emit("e8_solver_runtime", &table);
+    table
+}
+
+/// Parameters for E9.
+#[derive(Debug, Clone, Copy)]
+pub struct AgreementParams {
+    /// Random instances compared.
+    pub trials: usize,
+    /// Max jobs (brute force is exponential).
+    pub max_jobs: usize,
+    /// Max sites.
+    pub max_sites: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for AgreementParams {
+    fn default() -> Self {
+        AgreementParams {
+            trials: 300,
+            max_jobs: 7,
+            max_sites: 4,
+            seed: 2024,
+        }
+    }
+}
+
+impl AgreementParams {
+    /// Tiny configuration for smoke tests.
+    pub fn fast() -> Self {
+        AgreementParams {
+            trials: 20,
+            max_jobs: 4,
+            max_sites: 3,
+            seed: 2024,
+        }
+    }
+}
+
+/// E9: cross-validation of the three solvers. Counts exact matches between
+/// the flow solver and brute-force enumeration (both on rationals), and the
+/// worst deviation of the f64 solver from the exact result.
+pub fn solver_agreement(ctx: &ExpContext, params: &AgreementParams) -> Table {
+    ctx.log(&format!("[E9] solver agreement: {params:?}"));
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut exact_matches = 0usize;
+    let mut max_f64_dev = 0.0f64;
+    for _ in 0..params.trials {
+        let n = rng.gen_range(1..=params.max_jobs);
+        let m = rng.gen_range(1..=params.max_sites);
+        let inst_q: Instance<Rational> = Instance::new(
+            (0..m)
+                .map(|_| Rational::from_int(rng.gen_range(0..12)))
+                .collect(),
+            (0..n)
+                .map(|_| {
+                    (0..m)
+                        .map(|_| Rational::from_int(rng.gen_range(0..10)))
+                        .collect()
+                })
+                .collect(),
+        )
+        .expect("valid instance");
+        for mode in [FairnessMode::Plain, FairnessMode::Enhanced] {
+            let solver = match mode {
+                FairnessMode::Plain => AmfSolver::new(),
+                FairnessMode::Enhanced => AmfSolver::enhanced(),
+            };
+            let flow = solver.solve(&inst_q);
+            let reference = reference_aggregates(&inst_q, mode);
+            let matches = (0..n).all(|j| flow.allocation.aggregate(j) == reference[j]);
+            if matches {
+                exact_matches += 1;
+            }
+            let inst_f = inst_q.map(|v| v.to_f64());
+            let approx = solver.solve(&inst_f);
+            for j in 0..n {
+                let dev = (approx.allocation.aggregate(j) - reference[j].to_f64()).abs();
+                max_f64_dev = max_f64_dev.max(dev);
+            }
+        }
+    }
+    let mut table = Table::new(
+        "E9: solver agreement (flow vs brute force vs f64)",
+        &["trials", "modes", "exact_matches", "max_f64_deviation"],
+    );
+    table.row(vec![
+        params.trials.to_string(),
+        "2".to_string(),
+        format!("{exact_matches}/{}", params.trials * 2),
+        format!("{max_f64_dev:.3e}"),
+    ]);
+    ctx.emit("e9_solver_agreement", &table);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_runs() {
+        let table = solver_runtime(&ExpContext::silent(), &RuntimeParams::fast());
+        assert_eq!(table.n_rows(), 2);
+    }
+
+    #[test]
+    fn e9_full_agreement_on_fast_params() {
+        let table = solver_agreement(&ExpContext::silent(), &AgreementParams::fast());
+        assert_eq!(table.n_rows(), 1);
+    }
+}

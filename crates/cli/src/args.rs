@@ -1,0 +1,264 @@
+//! Hand-rolled argument parsing (no external parser dependency).
+
+use std::fmt;
+
+/// Usage text shown by `amf --help`.
+pub const USAGE: &str = "\
+amf — Aggregate Max-min Fair resource allocation (ICPP 2019 reproduction)
+
+USAGE:
+    amf gen      --jobs N --sites M [--alpha A] [--sites-per-job K]
+                 [--seed S] [--load RHO]        # emit a trace (JSON, stdout)
+    amf solve    [--policy P] [--explain] [--dot] < trace.json
+                                                # allocation table / DOT graph
+    amf simulate [--policy P] [--jct-addon] [--engine fluid|slots]
+                 < trace.json
+    amf check    < trace.json                   # fairness properties of AMF
+    amf drf      < pool.json                    # multi-resource DRF solve
+                 # pool.json: {\"capacities\": [9, 18],
+                 #             \"jobs\": [{\"demand\": [1, 4],
+                 #                       \"max_tasks\": null, \"weight\": 1.0}]}
+    amf --help
+
+POLICIES:
+    amf (default), amf-enhanced, per-site-max-min, equal-division,
+    proportional-to-demand, srpt-per-site (simulate only)
+
+NOTES:
+    gen: --alpha sets Zipf skew of per-job site shares (default 0 = uniform);
+         --load RHO adds Poisson arrivals at offered load RHO (default: batch).
+";
+
+/// Parameters of `amf gen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Number of sites.
+    pub sites: usize,
+    /// Zipf α skew.
+    pub alpha: f64,
+    /// Sites each job touches (default: all).
+    pub sites_per_job: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Offered load for Poisson arrivals (None = batch).
+    pub load: Option<f64>,
+}
+
+/// Parameters of `amf solve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveParams {
+    /// Policy name.
+    pub policy: String,
+    /// Print the freeze-round explanation (AMF policies only).
+    pub explain: bool,
+    /// Emit a Graphviz DOT graph of the allocation instead of the table.
+    pub dot: bool,
+}
+
+/// Parameters of `amf simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateParams {
+    /// Policy name.
+    pub policy: String,
+    /// Enable the JCT add-on (balanced-progress splits).
+    pub jct_addon: bool,
+    /// Execution engine: "fluid" (default) or "slots".
+    pub engine: String,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `amf drf` — solve a multi-resource DRF pool from JSON on stdin.
+    Drf,
+    /// `amf gen`.
+    Gen(GenParams),
+    /// `amf solve`.
+    Solve(SolveParams),
+    /// `amf simulate`.
+    Simulate(SimulateParams),
+    /// `amf check`.
+    Check,
+    /// `amf --help` (or no arguments).
+    Help,
+}
+
+/// Argument-parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{USAGE}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn value_of(args: &[String], flag: &str) -> Result<Option<String>, ParseError> {
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+                _ => Err(ParseError(format!("{flag} requires a value"))),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, ParseError> {
+    v.parse()
+        .map_err(|_| ParseError(format!("invalid value for {flag}: {v}")))
+}
+
+/// Parse an argument vector (excluding the program name).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    match argv.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") | Some("help") => Ok(Command::Help),
+        Some("gen") => {
+            let rest = &argv[1..];
+            let jobs = value_of(rest, "--jobs")?
+                .ok_or_else(|| ParseError("gen: --jobs is required".into()))?;
+            let sites = value_of(rest, "--sites")?
+                .ok_or_else(|| ParseError("gen: --sites is required".into()))?;
+            Ok(Command::Gen(GenParams {
+                jobs: parse_num(&jobs, "--jobs")?,
+                sites: parse_num(&sites, "--sites")?,
+                alpha: match value_of(rest, "--alpha")? {
+                    Some(v) => parse_num(&v, "--alpha")?,
+                    None => 0.0,
+                },
+                sites_per_job: match value_of(rest, "--sites-per-job")? {
+                    Some(v) => Some(parse_num(&v, "--sites-per-job")?),
+                    None => None,
+                },
+                seed: match value_of(rest, "--seed")? {
+                    Some(v) => parse_num(&v, "--seed")?,
+                    None => 0,
+                },
+                load: match value_of(rest, "--load")? {
+                    Some(v) => Some(parse_num(&v, "--load")?),
+                    None => None,
+                },
+            }))
+        }
+        Some("solve") => Ok(Command::Solve(SolveParams {
+            policy: value_of(&argv[1..], "--policy")?.unwrap_or_else(|| "amf".into()),
+            explain: argv[1..].iter().any(|a| a == "--explain"),
+            dot: argv[1..].iter().any(|a| a == "--dot"),
+        })),
+        Some("simulate") => {
+            let engine =
+                value_of(&argv[1..], "--engine")?.unwrap_or_else(|| "fluid".into());
+            if engine != "fluid" && engine != "slots" {
+                return Err(ParseError(format!("unknown engine: {engine}")));
+            }
+            Ok(Command::Simulate(SimulateParams {
+                policy: value_of(&argv[1..], "--policy")?.unwrap_or_else(|| "amf".into()),
+                jct_addon: argv[1..].iter().any(|a| a == "--jct-addon"),
+                engine,
+            }))
+        }
+        Some("check") => Ok(Command::Check),
+        Some("drf") => Ok(Command::Drf),
+        Some(other) => Err(ParseError(format!("unknown command: {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_gen_with_defaults() {
+        let cmd = parse(&sv(&["gen", "--jobs", "10", "--sites", "4"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Gen(GenParams {
+                jobs: 10,
+                sites: 4,
+                alpha: 0.0,
+                sites_per_job: None,
+                seed: 0,
+                load: None,
+            })
+        );
+    }
+
+    #[test]
+    fn parses_gen_with_all_flags() {
+        let cmd = parse(&sv(&[
+            "gen", "--jobs", "5", "--sites", "2", "--alpha", "1.5", "--sites-per-job", "2",
+            "--seed", "9", "--load", "0.7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Gen(p) => {
+                assert_eq!(p.alpha, 1.5);
+                assert_eq!(p.sites_per_job, Some(2));
+                assert_eq!(p.seed, 9);
+                assert_eq!(p.load, Some(0.7));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_fails() {
+        assert!(parse(&sv(&["gen", "--jobs", "10"])).is_err());
+        assert!(parse(&sv(&["gen", "--jobs"])).is_err());
+        assert!(parse(&sv(&["gen", "--jobs", "--sites"])).is_err());
+    }
+
+    #[test]
+    fn parses_other_commands() {
+        assert_eq!(parse(&sv(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["check"])).unwrap(), Command::Check);
+        assert_eq!(
+            parse(&sv(&["solve"])).unwrap(),
+            Command::Solve(SolveParams {
+                policy: "amf".into(),
+                explain: false,
+                dot: false,
+            })
+        );
+        assert_eq!(
+            parse(&sv(&["solve", "--explain"])).unwrap(),
+            Command::Solve(SolveParams {
+                policy: "amf".into(),
+                explain: true,
+                dot: false,
+            })
+        );
+        assert_eq!(
+            parse(&sv(&["simulate", "--policy", "per-site-max-min", "--jct-addon"])).unwrap(),
+            Command::Simulate(SimulateParams {
+                policy: "per-site-max-min".into(),
+                jct_addon: true,
+                engine: "fluid".into(),
+            })
+        );
+        assert_eq!(
+            parse(&sv(&["simulate", "--engine", "slots"])).unwrap(),
+            Command::Simulate(SimulateParams {
+                policy: "amf".into(),
+                jct_addon: false,
+                engine: "slots".into(),
+            })
+        );
+        assert!(parse(&sv(&["simulate", "--engine", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(parse(&sv(&["gen", "--jobs", "x", "--sites", "4"])).is_err());
+    }
+}

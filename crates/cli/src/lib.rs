@@ -1,0 +1,95 @@
+//! Implementation of the `amf` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`], which takes the argument
+//! list and stdin contents and returns the output string — so the whole
+//! CLI is unit-testable without spawning processes.
+//!
+//! ```text
+//! amf gen --jobs 20 --sites 5 --alpha 1.2 --seed 1      # trace JSON to stdout
+//! amf solve --policy amf < trace.json                   # allocation table
+//! amf simulate --policy amf --jct-addon < trace.json    # JCT report
+//! amf check < trace.json                                # fairness properties
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Entry point: execute the parsed command against `stdin`, returning the
+/// output to print (or an error message for exit code 1).
+pub fn run(argv: &[String], stdin: &str) -> Result<String, String> {
+    let cmd = args::parse(argv).map_err(|e| e.to_string())?;
+    match cmd {
+        Command::Help => Ok(args::USAGE.to_owned()),
+        Command::Gen(p) => commands::generate(&p),
+        Command::Solve(p) => commands::solve(&p, stdin),
+        Command::Simulate(p) => commands::simulate_cmd(&p, stdin),
+        Command::Check => commands::check(stdin),
+        Command::Drf => commands::drf(stdin),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(&sv(&["--help"]), "").unwrap().contains("USAGE"));
+        assert!(run(&sv(&["bogus"]), "").is_err());
+    }
+
+    #[test]
+    fn gen_solve_simulate_check_pipeline() {
+        let trace = run(
+            &sv(&[
+                "gen", "--jobs", "6", "--sites", "3", "--alpha", "1.2", "--seed", "4",
+            ]),
+            "",
+        )
+        .unwrap();
+        assert!(trace.contains("capacities"));
+
+        let solved = run(&sv(&["solve", "--policy", "amf"]), &trace).unwrap();
+        assert!(solved.contains("aggregate"), "{solved}");
+
+        let sim = run(&sv(&["simulate", "--policy", "amf", "--jct-addon"]), &trace).unwrap();
+        assert!(sim.contains("mean_jct"), "{sim}");
+
+        let checked = run(&sv(&["check"]), &trace).unwrap();
+        assert!(checked.contains("pareto_efficient"), "{checked}");
+    }
+
+    #[test]
+    fn solve_rejects_garbage_input() {
+        assert!(run(&sv(&["solve"]), "{nope").is_err());
+    }
+
+    #[test]
+    fn all_policies_accepted() {
+        let trace = run(
+            &sv(&["gen", "--jobs", "4", "--sites", "2", "--seed", "1"]),
+            "",
+        )
+        .unwrap();
+        for policy in [
+            "amf",
+            "amf-enhanced",
+            "per-site-max-min",
+            "equal-division",
+            "proportional-to-demand",
+        ] {
+            let out = run(&sv(&["solve", "--policy", policy]), &trace).unwrap();
+            assert!(out.contains("aggregate"), "{policy}: {out}");
+        }
+        assert!(run(&sv(&["solve", "--policy", "nope"]), &trace).is_err());
+    }
+}

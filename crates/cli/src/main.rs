@@ -1,0 +1,27 @@
+//! The `amf` binary.
+
+use std::io::Read;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Only the stdin-consuming subcommands read stdin, and only when it is
+    // not a terminal-less pipe read of nothing: read lazily.
+    let needs_stdin = matches!(
+        argv.first().map(String::as_str),
+        Some("solve") | Some("simulate") | Some("check") | Some("drf")
+    );
+    let mut stdin = String::new();
+    if needs_stdin {
+        if let Err(e) = std::io::stdin().read_to_string(&mut stdin) {
+            eprintln!("error reading stdin: {e}");
+            std::process::exit(1);
+        }
+    }
+    match amf_cli::run(&argv, &stdin) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Baseline allocation policies the paper compares AMF against.
+//!
+//! * [`PerSiteMaxMin`] — **the paper's baseline**: run conventional
+//!   max-min fairness independently at every site. Locally fair, but a job
+//!   present at many sites accumulates a large aggregate while a job
+//!   confined to one busy site starves — exactly the imbalance AMF fixes.
+//! * [`EqualDivision`] — static equal partitioning of every site
+//!   (`x[j][s] = min(d[j][s], c_s/n)`); the reference point of the
+//!   sharing-incentive property.
+//! * [`ProportionalToDemand`] — each site divided in proportion to the
+//!   demands placed on it; a common non-fair strawman.
+//! * [`pooled_max_min_bound`] — conventional max-min fairness on the sum of
+//!   all capacities, ignoring locality. Generally *infeasible* as a real
+//!   allocation (it pretends resources are fungible across sites), so it is
+//!   exposed as an aggregate upper-bound vector, not a policy.
+
+use crate::model::{Allocation, Instance};
+use crate::policy::AllocationPolicy;
+use crate::water::water_fill_weighted;
+use amf_numeric::{min2, Scalar};
+
+/// The paper's baseline: independent max-min fairness at each site.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerSiteMaxMin;
+
+impl<S: Scalar> AllocationPolicy<S> for PerSiteMaxMin {
+    fn name(&self) -> &'static str {
+        "per-site-max-min"
+    }
+
+    fn allocate(&self, inst: &Instance<S>) -> Allocation<S> {
+        let n = inst.n_jobs();
+        let mut split = vec![vec![S::ZERO; inst.n_sites()]; n];
+        for s in 0..inst.n_sites() {
+            let caps = inst.site_demands(s);
+            let x = water_fill_weighted(inst.capacity(s), &caps, inst.weights());
+            for (j, v) in x.into_iter().enumerate() {
+                split[j][s] = v;
+            }
+        }
+        Allocation::from_split(split)
+    }
+}
+
+/// Static equal division of every site among all `n` jobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualDivision;
+
+impl<S: Scalar> AllocationPolicy<S> for EqualDivision {
+    fn name(&self) -> &'static str {
+        "equal-division"
+    }
+
+    fn allocate(&self, inst: &Instance<S>) -> Allocation<S> {
+        let n = inst.n_jobs();
+        if n == 0 {
+            return Allocation::from_split(Vec::new());
+        }
+        let slice = |s: usize| inst.capacity(s) / S::from_usize(n);
+        let split = (0..n)
+            .map(|j| {
+                (0..inst.n_sites())
+                    .map(|s| min2(inst.demand(j, s), slice(s)))
+                    .collect()
+            })
+            .collect();
+        Allocation::from_split(split)
+    }
+}
+
+/// Each site divided in proportion to the demand placed on it
+/// (`x[j][s] = d[j][s] * min(1, c_s / Σ_k d[k][s])`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProportionalToDemand;
+
+impl<S: Scalar> AllocationPolicy<S> for ProportionalToDemand {
+    fn name(&self) -> &'static str {
+        "proportional-to-demand"
+    }
+
+    fn allocate(&self, inst: &Instance<S>) -> Allocation<S> {
+        let n = inst.n_jobs();
+        let mut split = vec![vec![S::ZERO; inst.n_sites()]; n];
+        for s in 0..inst.n_sites() {
+            let total: S = amf_numeric::sum((0..n).map(|j| inst.demand(j, s)));
+            if !total.is_positive() {
+                continue;
+            }
+            let scale = if inst.capacity(s) < total {
+                inst.capacity(s) / total
+            } else {
+                S::ONE
+            };
+            for (j, row) in split.iter_mut().enumerate() {
+                row[s] = inst.demand(j, s) * scale;
+            }
+        }
+        Allocation::from_split(split)
+    }
+}
+
+/// Locality-oblivious upper bound: weighted max-min fairness pretending all
+/// capacity is one pool. Returns the aggregate vector only — the bound is
+/// generally not realizable by any per-site split.
+pub fn pooled_max_min_bound<S: Scalar>(inst: &Instance<S>) -> Vec<S> {
+    let caps: Vec<S> = (0..inst.n_jobs()).map(|j| inst.total_demand(j)).collect();
+    water_fill_weighted(inst.total_capacity(), &caps, inst.weights())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_numeric::Rational;
+
+    fn ri(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// Job 0 locked to site 0; job 1 at both sites.
+    fn skewed() -> Instance<Rational> {
+        Instance::new(
+            vec![ri(6), ri(2)],
+            vec![vec![ri(6), ri(0)], vec![ri(6), ri(2)]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn per_site_max_min_is_locally_fair_but_aggregate_unfair() {
+        let inst = skewed();
+        let alloc = PerSiteMaxMin.allocate(&inst);
+        // Site 0 split 3/3, site 1 all to job 1.
+        assert_eq!(alloc.at(0, 0), ri(3));
+        assert_eq!(alloc.at(1, 0), ri(3));
+        assert_eq!(alloc.at(1, 1), ri(2));
+        assert_eq!(alloc.aggregate(0), ri(3));
+        assert_eq!(alloc.aggregate(1), ri(5));
+        assert!(alloc.is_feasible(&inst));
+    }
+
+    #[test]
+    fn equal_division_matches_equal_shares() {
+        let inst = skewed();
+        let alloc = EqualDivision.allocate(&inst);
+        for j in 0..2 {
+            assert_eq!(alloc.aggregate(j), inst.equal_share(j));
+        }
+        assert!(alloc.is_feasible(&inst));
+    }
+
+    #[test]
+    fn proportional_scales_contended_sites() {
+        let inst = skewed();
+        let alloc = ProportionalToDemand.allocate(&inst);
+        // Site 0: demand 12 > cap 6 → halves: 3 and 3. Site 1: 2 ≤ 2 → full.
+        assert_eq!(alloc.at(0, 0), ri(3));
+        assert_eq!(alloc.at(1, 1), ri(2));
+        assert!(alloc.is_feasible(&inst));
+    }
+
+    #[test]
+    fn proportional_handles_empty_site() {
+        let inst = Instance::new(vec![ri(5), ri(5)], vec![vec![ri(2), ri(0)]]).unwrap();
+        let alloc = ProportionalToDemand.allocate(&inst);
+        assert_eq!(alloc.at(0, 1), ri(0));
+        assert_eq!(alloc.aggregate(0), ri(2));
+    }
+
+    #[test]
+    fn pooled_bound_ignores_locality() {
+        let inst = skewed();
+        let bound = pooled_max_min_bound(&inst);
+        // Pool = 8, demands 6 and 8: water level 4 → [4, 4].
+        assert_eq!(bound, vec![ri(4), ri(4)]);
+    }
+
+    #[test]
+    fn pooled_bound_dominates_feasible_totals() {
+        let inst = skewed();
+        let bound = pooled_max_min_bound(&inst);
+        let total_bound: Rational = bound.into_iter().sum();
+        // The pooled total can never be less than any feasible total.
+        let psmf: Rational = PerSiteMaxMin.allocate(&inst).total();
+        assert!(total_bound >= psmf);
+    }
+
+    #[test]
+    fn equal_division_on_zero_jobs() {
+        let inst = Instance::<f64>::new(vec![1.0], vec![]).unwrap();
+        assert_eq!(EqualDivision.allocate(&inst).n_jobs(), 0);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(
+            AllocationPolicy::<f64>::name(&PerSiteMaxMin),
+            "per-site-max-min"
+        );
+        assert_eq!(
+            AllocationPolicy::<f64>::name(&EqualDivision),
+            "equal-division"
+        );
+        assert_eq!(
+            AllocationPolicy::<f64>::name(&ProportionalToDemand),
+            "proportional-to-demand"
+        );
+    }
+}

@@ -1,0 +1,502 @@
+//! The allocation problem instance and allocation result types.
+
+use amf_numeric::{min2, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// Error produced when validating an [`Instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A demand row has a different length than the capacity vector.
+    RaggedDemands {
+        /// Index of the offending job.
+        job: usize,
+    },
+    /// A negative (or NaN) capacity.
+    BadCapacity {
+        /// Index of the offending site.
+        site: usize,
+    },
+    /// A negative (or NaN) demand entry.
+    BadDemand {
+        /// Index of the offending job.
+        job: usize,
+        /// Index of the offending site.
+        site: usize,
+    },
+    /// A non-positive (or NaN) job weight.
+    BadWeight {
+        /// Index of the offending job.
+        job: usize,
+    },
+    /// The weight vector length differs from the number of jobs.
+    WeightLength,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::RaggedDemands { job } => {
+                write!(f, "job {job}: demand row length != number of sites")
+            }
+            ModelError::BadCapacity { site } => write!(f, "site {site}: invalid capacity"),
+            ModelError::BadDemand { job, site } => {
+                write!(f, "job {job}, site {site}: invalid demand")
+            }
+            ModelError::BadWeight { job } => write!(f, "job {job}: weight must be positive"),
+            ModelError::WeightLength => write!(f, "weight vector length != number of jobs"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A fair-allocation problem instance: `m` sites with capacities and `n`
+/// jobs with per-site demand caps (and optional positive weights).
+///
+/// The demand cap `d[j][s]` is the most resource job `j` can use at site
+/// `s` — in the distributed-execution setting it is driven by data
+/// locality: a job's tasks can only run at the sites holding their input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance<S> {
+    capacities: Vec<S>,
+    demands: Vec<Vec<S>>,
+    weights: Vec<S>,
+}
+
+impl<S: Scalar> Instance<S> {
+    /// Build an unweighted instance (all weights 1), validating all inputs.
+    pub fn new(capacities: Vec<S>, demands: Vec<Vec<S>>) -> Result<Self, ModelError> {
+        let n = demands.len();
+        Self::weighted(capacities, demands, vec![S::ONE; n])
+    }
+
+    /// Build a weighted instance, validating all inputs.
+    pub fn weighted(
+        capacities: Vec<S>,
+        demands: Vec<Vec<S>>,
+        weights: Vec<S>,
+    ) -> Result<Self, ModelError> {
+        for (s, &c) in capacities.iter().enumerate() {
+            // `c < ZERO` is false for NaN, so check for a valid ordering too.
+            if c < S::ZERO || !c.is_valid() {
+                return Err(ModelError::BadCapacity { site: s });
+            }
+        }
+        for (j, row) in demands.iter().enumerate() {
+            if row.len() != capacities.len() {
+                return Err(ModelError::RaggedDemands { job: j });
+            }
+            for (s, &d) in row.iter().enumerate() {
+                if d < S::ZERO || !d.is_valid() {
+                    return Err(ModelError::BadDemand { job: j, site: s });
+                }
+            }
+        }
+        if weights.len() != demands.len() {
+            return Err(ModelError::WeightLength);
+        }
+        for (j, &w) in weights.iter().enumerate() {
+            if !w.is_positive() || !w.is_valid() {
+                return Err(ModelError::BadWeight { job: j });
+            }
+        }
+        Ok(Instance {
+            capacities,
+            demands,
+            weights,
+        })
+    }
+
+    /// Number of jobs `n`.
+    pub fn n_jobs(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Number of sites `m`.
+    pub fn n_sites(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Site capacities.
+    pub fn capacities(&self) -> &[S] {
+        &self.capacities
+    }
+
+    /// Capacity of site `s`.
+    pub fn capacity(&self, s: usize) -> S {
+        self.capacities[s]
+    }
+
+    /// Demand matrix rows.
+    pub fn demands(&self) -> &[Vec<S>] {
+        &self.demands
+    }
+
+    /// Demand cap of job `j` at site `s`.
+    pub fn demand(&self, j: usize, s: usize) -> S {
+        self.demands[j][s]
+    }
+
+    /// Job weights (all 1 for unweighted instances).
+    pub fn weights(&self) -> &[S] {
+        &self.weights
+    }
+
+    /// Weight of job `j`.
+    pub fn weight(&self, j: usize) -> S {
+        self.weights[j]
+    }
+
+    /// Total demand `D_j = Σ_s d[j][s]` of job `j`.
+    pub fn total_demand(&self, j: usize) -> S {
+        amf_numeric::sum(self.demands[j].iter().copied())
+    }
+
+    /// Total capacity `Σ_s c_s`.
+    pub fn total_capacity(&self) -> S {
+        amf_numeric::sum(self.capacities.iter().copied())
+    }
+
+    /// The polymatroid rank function over job subsets:
+    /// `f(J) = Σ_s min(c_s, Σ_{j∈J} d[j][s])` — the maximum total resource
+    /// the jobs in `J` can jointly consume. Submodular; the feasible
+    /// aggregate-allocation region is exactly `{A ≥ 0 : Σ_{j∈J} A_j ≤ f(J)
+    /// ∀J}`.
+    pub fn rank(&self, members: &[bool]) -> S {
+        assert_eq!(members.len(), self.n_jobs(), "rank: membership length");
+        let mut total = S::ZERO;
+        for s in 0..self.n_sites() {
+            let mut want = S::ZERO;
+            for (j, &inside) in members.iter().enumerate() {
+                if inside {
+                    want += self.demands[j][s];
+                }
+            }
+            total += min2(self.capacities[s], want);
+        }
+        total
+    }
+
+    /// The *equal share* of job `j`:
+    /// `e_j = Σ_s min(d[j][s], c_s / n)` — the aggregate utility job `j`
+    /// would obtain if every site were statically partitioned into `n`
+    /// equal slices. The sharing-incentive property compares `A_j` against
+    /// this value, and Enhanced AMF uses it as a floor.
+    pub fn equal_share(&self, j: usize) -> S {
+        let n = S::from_usize(self.n_jobs());
+        let mut total = S::ZERO;
+        for s in 0..self.n_sites() {
+            total += min2(self.demands[j][s], self.capacities[s] / n);
+        }
+        total
+    }
+
+    /// All equal shares.
+    pub fn equal_shares(&self) -> Vec<S> {
+        (0..self.n_jobs()).map(|j| self.equal_share(j)).collect()
+    }
+
+    /// A copy of the instance restricted to one site (used by the per-site
+    /// baseline).
+    pub fn site_demands(&self, s: usize) -> Vec<S> {
+        self.demands.iter().map(|row| row[s]).collect()
+    }
+
+    /// Replace job `j`'s demand vector, returning a new instance. Used by
+    /// the strategy-proofness harness to model misreporting.
+    pub fn with_job_demands(&self, j: usize, demands: Vec<S>) -> Result<Self, ModelError> {
+        let mut rows = self.demands.clone();
+        assert!(j < rows.len(), "with_job_demands: job out of range");
+        rows[j] = demands;
+        Instance::weighted(self.capacities.clone(), rows, self.weights.clone())
+    }
+
+    /// Normalize the instance so its largest capacity/demand is 1,
+    /// returning `(normalized, scale)` with `original = normalized * scale`.
+    ///
+    /// AMF is positively homogeneous — `AMF(k·I) = k·AMF(I)` (verified by
+    /// property test) — so solving the normalized instance and multiplying
+    /// back is exact up to scalar rounding. Recommended for `f64` inputs
+    /// with very large magnitudes, where the solver's absolute tolerance
+    /// would otherwise be too tight.
+    pub fn normalized(&self) -> (Instance<S>, S) {
+        let mut scale = S::ZERO;
+        for &c in &self.capacities {
+            if c > scale {
+                scale = c;
+            }
+        }
+        for row in &self.demands {
+            for &d in row {
+                if d > scale {
+                    scale = d;
+                }
+            }
+        }
+        if !scale.is_positive() {
+            return (self.clone(), S::ONE);
+        }
+        let inst = Instance {
+            capacities: self.capacities.iter().map(|&c| c / scale).collect(),
+            demands: self
+                .demands
+                .iter()
+                .map(|row| row.iter().map(|&d| d / scale).collect())
+                .collect(),
+            weights: self.weights.clone(),
+        };
+        (inst, scale)
+    }
+
+    /// Map the instance into another scalar type (e.g. `Rational -> f64`).
+    pub fn map<T: Scalar>(&self, f: impl Fn(S) -> T + Copy) -> Instance<T> {
+        Instance {
+            capacities: self.capacities.iter().map(|&v| f(v)).collect(),
+            demands: self
+                .demands
+                .iter()
+                .map(|row| row.iter().map(|&v| f(v)).collect())
+                .collect(),
+            weights: self.weights.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+/// The result of an allocation policy: a feasible split `x[j][s]` together
+/// with the aggregate vector `A_j = Σ_s x[j][s]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation<S> {
+    split: Vec<Vec<S>>,
+    aggregates: Vec<S>,
+}
+
+impl<S: Scalar> Allocation<S> {
+    /// Wrap a split matrix, computing aggregates.
+    pub fn from_split(split: Vec<Vec<S>>) -> Self {
+        let aggregates = split
+            .iter()
+            .map(|row| amf_numeric::sum(row.iter().copied()))
+            .collect();
+        Allocation { split, aggregates }
+    }
+
+    /// The split matrix `x[j][s]`.
+    pub fn split(&self) -> &[Vec<S>] {
+        &self.split
+    }
+
+    /// Aggregate allocations `A_j`.
+    pub fn aggregates(&self) -> &[S] {
+        &self.aggregates
+    }
+
+    /// Aggregate allocation of job `j`.
+    pub fn aggregate(&self, j: usize) -> S {
+        self.aggregates[j]
+    }
+
+    /// Allocation of job `j` at site `s`.
+    pub fn at(&self, j: usize, s: usize) -> S {
+        self.split[j][s]
+    }
+
+    /// Number of jobs.
+    pub fn n_jobs(&self) -> usize {
+        self.split.len()
+    }
+
+    /// Total allocated resource.
+    pub fn total(&self) -> S {
+        amf_numeric::sum(self.aggregates.iter().copied())
+    }
+
+    /// Resource used at site `s`.
+    pub fn site_usage(&self, s: usize) -> S {
+        amf_numeric::sum(self.split.iter().map(|row| row[s]))
+    }
+
+    /// Check feasibility against an instance (within the scalar tolerance).
+    pub fn is_feasible(&self, inst: &Instance<S>) -> bool {
+        if self.split.len() != inst.n_jobs() {
+            return false;
+        }
+        for (j, row) in self.split.iter().enumerate() {
+            if row.len() != inst.n_sites() {
+                return false;
+            }
+            for (s, &x) in row.iter().enumerate() {
+                if x.definitely_lt(S::ZERO) || x.definitely_gt(inst.demand(j, s)) {
+                    return false;
+                }
+            }
+        }
+        for s in 0..inst.n_sites() {
+            if self.site_usage(s).definitely_gt(inst.capacity(s)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_numeric::Rational;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn demo() -> Instance<f64> {
+        Instance::new(
+            vec![10.0, 4.0],
+            vec![vec![6.0, 0.0], vec![6.0, 4.0], vec![2.0, 2.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let inst = demo();
+        assert_eq!(inst.n_jobs(), 3);
+        assert_eq!(inst.n_sites(), 2);
+        assert_eq!(inst.capacity(1), 4.0);
+        assert_eq!(inst.demand(1, 1), 4.0);
+        assert_eq!(inst.total_demand(1), 10.0);
+        assert_eq!(inst.total_capacity(), 14.0);
+        assert_eq!(inst.weights(), &[1.0, 1.0, 1.0]);
+        assert_eq!(inst.site_demands(0), vec![6.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert_eq!(
+            Instance::new(vec![-1.0], vec![vec![1.0]]),
+            Err(ModelError::BadCapacity { site: 0 })
+        );
+        assert_eq!(
+            Instance::new(vec![1.0], vec![vec![-1.0]]),
+            Err(ModelError::BadDemand { job: 0, site: 0 })
+        );
+        assert_eq!(
+            Instance::new(vec![1.0], vec![vec![1.0, 2.0]]),
+            Err(ModelError::RaggedDemands { job: 0 })
+        );
+        assert_eq!(
+            Instance::weighted(vec![1.0], vec![vec![1.0]], vec![0.0]),
+            Err(ModelError::BadWeight { job: 0 })
+        );
+        assert_eq!(
+            Instance::weighted(vec![1.0], vec![vec![1.0]], vec![]),
+            Err(ModelError::WeightLength)
+        );
+        assert!(Instance::new(vec![f64::NAN], vec![vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn rank_function_values() {
+        let inst = demo();
+        // f({0}) = min(10,6) + min(4,0) = 6.
+        assert_eq!(inst.rank(&[true, false, false]), 6.0);
+        // f({0,1}) = min(10,12) + min(4,4) = 14.
+        assert_eq!(inst.rank(&[true, true, false]), 14.0);
+        // f(all) = min(10,14) + min(4,6) = 14.
+        assert_eq!(inst.rank(&[true, true, true]), 14.0);
+        assert_eq!(inst.rank(&[false, false, false]), 0.0);
+    }
+
+    #[test]
+    fn rank_is_submodular_on_demo() {
+        let inst = demo();
+        // f(A) + f(B) >= f(A∪B) + f(A∩B) over all pairs of subsets.
+        for a in 0u8..8 {
+            for b in 0u8..8 {
+                let set = |mask: u8| {
+                    (0..3)
+                        .map(|j| mask & (1 << j) != 0)
+                        .collect::<Vec<bool>>()
+                };
+                let fa = inst.rank(&set(a));
+                let fb = inst.rank(&set(b));
+                let fu = inst.rank(&set(a | b));
+                let fi = inst.rank(&set(a & b));
+                assert!(fa + fb >= fu + fi - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_shares_cap_by_demand() {
+        let inst = demo();
+        // n = 3: slice of site 0 is 10/3, of site 1 is 4/3.
+        assert!((inst.equal_share(0) - 10.0 / 3.0).abs() < 1e-12);
+        assert!((inst.equal_share(2) - 2.0 - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(inst.equal_shares().len(), 3);
+    }
+
+    #[test]
+    fn allocation_aggregates_and_feasibility() {
+        let inst = demo();
+        let alloc = Allocation::from_split(vec![
+            vec![5.0, 0.0],
+            vec![4.0, 2.0],
+            vec![1.0, 2.0],
+        ]);
+        assert_eq!(alloc.aggregate(0), 5.0);
+        assert_eq!(alloc.aggregate(1), 6.0);
+        assert_eq!(alloc.total(), 14.0);
+        assert_eq!(alloc.site_usage(0), 10.0);
+        assert!(alloc.is_feasible(&inst));
+        // Exceeding a demand cap is infeasible.
+        let bad = Allocation::from_split(vec![
+            vec![7.0, 0.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+        ]);
+        assert!(!bad.is_feasible(&inst));
+        // Exceeding a site capacity is infeasible.
+        let bad2 = Allocation::from_split(vec![
+            vec![6.0, 0.0],
+            vec![5.0, 2.0],
+            vec![0.0, 2.0],
+        ]);
+        assert!(!bad2.is_feasible(&inst));
+    }
+
+    #[test]
+    fn exact_instance_round_trip() {
+        let inst = Instance::new(
+            vec![r(10, 1)],
+            vec![vec![r(7, 2)], vec![r(9, 4)]],
+        )
+        .unwrap();
+        assert_eq!(inst.total_demand(0), r(7, 2));
+        let as_f64 = inst.map(|v| v.to_f64());
+        assert!((as_f64.demand(0, 0) - 3.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalization_round_trips() {
+        let inst = demo();
+        let (norm, scale) = inst.normalized();
+        assert_eq!(scale, 10.0);
+        assert_eq!(norm.capacity(0), 1.0);
+        assert_eq!(norm.demand(1, 1), 0.4);
+        // Weights untouched; degenerate all-zero instance is unchanged.
+        assert_eq!(norm.weights(), inst.weights());
+        let zero = Instance::new(vec![0.0], vec![vec![0.0]]).unwrap();
+        let (z, k) = zero.normalized();
+        assert_eq!(k, 1.0);
+        assert_eq!(z, zero);
+    }
+
+    #[test]
+    fn with_job_demands_replaces_one_row() {
+        let inst = demo();
+        let lied = inst.with_job_demands(0, vec![100.0, 100.0]).unwrap();
+        assert_eq!(lied.demand(0, 0), 100.0);
+        assert_eq!(lied.demand(1, 0), 6.0);
+        assert!(inst.with_job_demands(0, vec![-1.0, 0.0]).is_err());
+    }
+}

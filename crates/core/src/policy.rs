@@ -1,0 +1,64 @@
+//! The allocation-policy abstraction shared by solvers, baselines, the
+//! simulator and the experiment harness.
+
+use crate::model::{Allocation, Instance};
+use crate::solver::AmfSolver;
+use amf_numeric::Scalar;
+
+/// Anything that turns an [`Instance`] into a feasible [`Allocation`].
+///
+/// The simulator re-invokes the policy at every scheduling event (arrival,
+/// portion completion, departure) on the instance formed by the jobs
+/// currently in the system.
+pub trait AllocationPolicy<S: Scalar>: Send + Sync {
+    /// Short stable identifier used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Compute an allocation for the instance. Must return a feasible
+    /// allocation with one row per job.
+    fn allocate(&self, inst: &Instance<S>) -> Allocation<S>;
+}
+
+impl<S: Scalar> AllocationPolicy<S> for AmfSolver {
+    fn name(&self) -> &'static str {
+        match self.mode() {
+            crate::solver::FairnessMode::Plain => "amf",
+            crate::solver::FairnessMode::Enhanced => "amf-enhanced",
+        }
+    }
+
+    fn allocate(&self, inst: &Instance<S>) -> Allocation<S> {
+        self.solve(inst).allocation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Instance;
+
+    #[test]
+    fn amf_solver_implements_policy() {
+        let inst = Instance::new(vec![4.0], vec![vec![4.0], vec![4.0]]).unwrap();
+        let policy: &dyn AllocationPolicy<f64> = &AmfSolver::new();
+        assert_eq!(policy.name(), "amf");
+        let alloc = policy.allocate(&inst);
+        assert!((alloc.aggregate(0) - 2.0).abs() < 1e-9);
+        let enhanced: &dyn AllocationPolicy<f64> = &AmfSolver::enhanced();
+        assert_eq!(enhanced.name(), "amf-enhanced");
+    }
+
+    #[test]
+    fn trait_objects_are_usable_in_collections() {
+        let inst = Instance::new(vec![2.0], vec![vec![2.0]]).unwrap();
+        let policies: Vec<Box<dyn AllocationPolicy<f64>>> = vec![
+            Box::new(AmfSolver::new()),
+            Box::new(crate::baselines::PerSiteMaxMin),
+            Box::new(crate::baselines::EqualDivision),
+        ];
+        for p in &policies {
+            let a = p.allocate(&inst);
+            assert!(a.is_feasible(&inst), "{} infeasible", p.name());
+        }
+    }
+}

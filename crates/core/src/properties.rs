@@ -1,0 +1,376 @@
+//! Checkers for the fairness properties the paper analyzes.
+//!
+//! The abstract states: *"AMF satisfies the properties of Pareto
+//! efficiency, envy-freeness and strategy-proofness, but it does not
+//! necessarily satisfy the sharing incentive property."* These checkers
+//! verify each property on a concrete `(instance, allocation)` pair, and a
+//! harness probes strategy-proofness empirically by re-solving under
+//! misreported demands. Exact verification uses the
+//! [`Rational`](amf_numeric::Rational) scalar.
+
+use crate::model::{Allocation, Instance};
+use crate::policy::AllocationPolicy;
+use amf_flow::AllocationNetwork;
+use amf_numeric::{min2, sum, Scalar};
+
+/// **Pareto efficiency**: no feasible allocation gives some job a strictly
+/// larger aggregate without giving any job a smaller one.
+///
+/// Flow argument: load the allocation into the network with every job's
+/// source cap at its total demand, then try to augment. An augmenting path
+/// increases one job's aggregate and *reroutes* (never decreases) the
+/// aggregates of jobs it passes through, so a Pareto improvement exists iff
+/// the preloaded flow is not maximum.
+pub fn is_pareto_efficient<S: Scalar>(inst: &Instance<S>, alloc: &Allocation<S>) -> bool {
+    assert_eq!(alloc.n_jobs(), inst.n_jobs(), "allocation/job mismatch");
+    let mut net = AllocationNetwork::new(inst.demands(), inst.capacities());
+    for j in 0..inst.n_jobs() {
+        net.set_job_cap(j, inst.total_demand(j));
+    }
+    net.preload_split(alloc.split());
+    let before = net.total_flow();
+    let after = net.run_max_flow();
+    !(after - before).is_positive()
+}
+
+/// **Envy-freeness**: no job prefers another job's bundle, where job `j`
+/// values a bundle `y` at `Σ_s min(y_s, d[j][s])` (resource beyond its
+/// demand cap at a site is useless to it). With weights, envy compares
+/// normalized values: `j` envies `k` iff
+/// `value_j(x_k) / w_k > A_j / w_j`.
+pub fn is_envy_free<S: Scalar>(inst: &Instance<S>, alloc: &Allocation<S>) -> bool {
+    let n = inst.n_jobs();
+    for j in 0..n {
+        let own = alloc.aggregate(j) / inst.weight(j);
+        for k in 0..n {
+            if j == k {
+                continue;
+            }
+            let value = sum(
+                (0..inst.n_sites()).map(|s| min2(alloc.at(k, s), inst.demand(j, s))),
+            ) / inst.weight(k);
+            if value.definitely_gt(own) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// **Sharing incentive**: every job's aggregate is at least its equal share
+/// `e_j = Σ_s min(d[j][s], c_s/n)`.
+pub fn satisfies_sharing_incentive<S: Scalar>(inst: &Instance<S>, alloc: &Allocation<S>) -> bool {
+    (0..inst.n_jobs()).all(|j| !alloc.aggregate(j).definitely_lt(inst.equal_share(j)))
+}
+
+/// The per-job sharing-incentive shortfall `max(0, e_j - A_j)`.
+pub fn sharing_incentive_shortfalls<S: Scalar>(
+    inst: &Instance<S>,
+    alloc: &Allocation<S>,
+) -> Vec<S> {
+    (0..inst.n_jobs())
+        .map(|j| {
+            let gap = inst.equal_share(j) - alloc.aggregate(j);
+            if gap.is_positive() {
+                gap
+            } else {
+                S::ZERO
+            }
+        })
+        .collect()
+}
+
+/// Compare two allocation vectors in the max-min (leximin) order:
+/// sort both ascending and compare lexicographically. Returns
+/// `Less` when `a` is leximin-worse than `b`. AMF's defining property is
+/// that its aggregate vector is leximin-greatest among feasible vectors.
+pub fn leximin_cmp<S: Scalar>(a: &[S], b: &[S]) -> std::cmp::Ordering {
+    assert_eq!(a.len(), b.len(), "leximin_cmp: length mismatch");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("leximin_cmp: unordered value"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("leximin_cmp: unordered value"));
+    for (x, y) in sa.iter().zip(&sb) {
+        if x.definitely_lt(*y) {
+            return std::cmp::Ordering::Less;
+        }
+        if x.definitely_gt(*y) {
+            return std::cmp::Ordering::Greater;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Verify that `alloc` *is* the AMF allocation of `inst`: feasible, and
+/// its aggregate vector equals the solver's (the AMF aggregate vector is
+/// unique, so this is a complete check). Use with the
+/// [`Rational`](amf_numeric::Rational) scalar for an exact certificate.
+pub fn is_amf<S: Scalar>(inst: &Instance<S>, alloc: &Allocation<S>) -> bool {
+    if !alloc.is_feasible(inst) {
+        return false;
+    }
+    let reference = crate::solver::AmfSolver::new().solve(inst).allocation;
+    (0..inst.n_jobs()).all(|j| alloc.aggregate(j).approx_eq(reference.aggregate(j)))
+}
+
+/// Result of one strategy-proofness probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyProbe<S> {
+    /// The job's aggregate when reporting truthfully.
+    pub truthful: S,
+    /// The *useful* resource obtained by lying: `Σ_s min(x'[j][s],
+    /// d_true[j][s])` — allocation at a site beyond the true demand cannot
+    /// be used.
+    pub useful_when_lying: S,
+}
+
+impl<S: Scalar> StrategyProbe<S> {
+    /// True iff the lie strictly helped (a strategy-proofness violation).
+    pub fn lie_helped(&self) -> bool {
+        self.useful_when_lying.definitely_gt(self.truthful)
+    }
+}
+
+/// **Strategy-proofness probe**: re-solve the instance with job `j`
+/// reporting `lie` instead of its true demand vector, and compare the
+/// useful allocation against the truthful one.
+///
+/// # Panics
+/// Panics if `lie` is invalid (negative entries, wrong length).
+pub fn probe_strategy_proofness<S: Scalar, P: AllocationPolicy<S> + ?Sized>(
+    inst: &Instance<S>,
+    j: usize,
+    lie: Vec<S>,
+    policy: &P,
+) -> StrategyProbe<S> {
+    let truthful = policy.allocate(inst).aggregate(j);
+    let lied_inst = inst
+        .with_job_demands(j, lie)
+        .expect("probe_strategy_proofness: invalid lie");
+    let lied_alloc = policy.allocate(&lied_inst);
+    let useful = sum(
+        (0..inst.n_sites()).map(|s| min2(lied_alloc.at(j, s), inst.demand(j, s))),
+    );
+    StrategyProbe {
+        truthful,
+        useful_when_lying: useful,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{EqualDivision, PerSiteMaxMin};
+    use crate::solver::AmfSolver;
+    use amf_numeric::Rational;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ri(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// The paper's headline negative result, concretely: plain AMF violates
+    /// sharing incentive. Job A (spread demand) would get its full demand
+    /// 10 under equal division, but AMF equalizes both jobs at 7.5.
+    fn si_violation_instance() -> Instance<Rational> {
+        Instance::new(
+            vec![ri(10), ri(10)],
+            vec![vec![ri(5), ri(5)], vec![ri(0), ri(10)]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plain_amf_can_violate_sharing_incentive() {
+        let inst = si_violation_instance();
+        let out = AmfSolver::new().solve(&inst);
+        assert_eq!(out.allocation.aggregate(0), r(15, 2));
+        assert_eq!(inst.equal_share(0), ri(10));
+        assert!(!satisfies_sharing_incentive(&inst, &out.allocation));
+        let shortfalls = sharing_incentive_shortfalls(&inst, &out.allocation);
+        assert_eq!(shortfalls[0], r(5, 2));
+        assert_eq!(shortfalls[1], Rational::ZERO);
+    }
+
+    #[test]
+    fn enhanced_amf_repairs_the_violation() {
+        let inst = si_violation_instance();
+        let out = AmfSolver::enhanced().solve(&inst);
+        assert!(satisfies_sharing_incentive(&inst, &out.allocation));
+        assert_eq!(out.allocation.aggregate(0), ri(10));
+        assert_eq!(out.allocation.aggregate(1), ri(5));
+        // The repaired allocation is still Pareto efficient and feasible.
+        assert!(out.allocation.is_feasible(&inst));
+        assert!(is_pareto_efficient(&inst, &out.allocation));
+    }
+
+    #[test]
+    fn amf_is_pareto_efficient_and_envy_free_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..6usize);
+            let m = rng.gen_range(1..4usize);
+            let inst = Instance::new(
+                (0..m).map(|_| ri(rng.gen_range(0..12))).collect(),
+                (0..n)
+                    .map(|_| (0..m).map(|_| ri(rng.gen_range(0..10))).collect())
+                    .collect(),
+            )
+            .unwrap();
+            let out = AmfSolver::new().solve(&inst);
+            assert!(out.allocation.is_feasible(&inst));
+            assert!(is_pareto_efficient(&inst, &out.allocation));
+            assert!(is_envy_free(&inst, &out.allocation));
+        }
+    }
+
+    #[test]
+    fn equal_division_satisfies_si_but_not_pareto() {
+        // One site of capacity 10: job A demands 4 (below its 5-slice),
+        // job B demands 10. Equal division leaves 1 unit idle that B could
+        // use, so it is not Pareto efficient.
+        let inst = Instance::new(vec![ri(10)], vec![vec![ri(4)], vec![ri(10)]]).unwrap();
+        let alloc = EqualDivision.allocate(&inst);
+        assert!(satisfies_sharing_incentive(&inst, &alloc));
+        assert_eq!(alloc.aggregate(0), ri(4));
+        assert_eq!(alloc.aggregate(1), ri(5));
+        assert!(!is_pareto_efficient(&inst, &alloc));
+    }
+
+    #[test]
+    fn per_site_max_min_is_pareto_but_aggregate_unbalanced() {
+        let inst = Instance::new(
+            vec![ri(6), ri(2)],
+            vec![vec![ri(6), ri(0)], vec![ri(6), ri(2)]],
+        )
+        .unwrap();
+        let alloc = PerSiteMaxMin.allocate(&inst);
+        assert!(is_pareto_efficient(&inst, &alloc));
+        // Aggregates (3, 5) — job 0 "envies" nothing it can use more of, so
+        // envy-freeness still holds here; imbalance is the metric that
+        // separates PSMF from AMF (experiment E1).
+        assert_eq!(alloc.aggregate(0), ri(3));
+        assert_eq!(alloc.aggregate(1), ri(5));
+    }
+
+    #[test]
+    fn amf_resists_demand_inflation_lies() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let solver = AmfSolver::new();
+        for _ in 0..25 {
+            let n = rng.gen_range(2..5usize);
+            let m = rng.gen_range(1..4usize);
+            let inst = Instance::new(
+                (0..m).map(|_| ri(rng.gen_range(1..12))).collect(),
+                (0..n)
+                    .map(|_| (0..m).map(|_| ri(rng.gen_range(0..10))).collect())
+                    .collect(),
+            )
+            .unwrap();
+            let liar = rng.gen_range(0..n);
+            // Inflate every demand entry by a random integer factor.
+            let lie: Vec<Rational> = (0..m)
+                .map(|s| inst.demand(liar, s) * ri(rng.gen_range(1..4)) + ri(rng.gen_range(0..3)))
+                .collect();
+            let probe = probe_strategy_proofness(&inst, liar, lie, &solver);
+            assert!(
+                !probe.lie_helped(),
+                "lie helped: truthful {} useful {}",
+                probe.truthful,
+                probe.useful_when_lying
+            );
+        }
+    }
+
+    #[test]
+    fn amf_resists_demand_deflation_lies() {
+        let mut rng = StdRng::seed_from_u64(777);
+        let solver = AmfSolver::new();
+        for _ in 0..25 {
+            let n = rng.gen_range(2..5usize);
+            let m = rng.gen_range(1..4usize);
+            let inst = Instance::new(
+                (0..m).map(|_| ri(rng.gen_range(1..12))).collect(),
+                (0..n)
+                    .map(|_| (0..m).map(|_| ri(rng.gen_range(0..10))).collect())
+                    .collect(),
+            )
+            .unwrap();
+            let liar = rng.gen_range(0..n);
+            // Understate demands (halve, floor at 0).
+            let lie: Vec<Rational> = (0..m)
+                .map(|s| inst.demand(liar, s) * r(1, 2))
+                .collect();
+            let probe = probe_strategy_proofness(&inst, liar, lie, &solver);
+            assert!(!probe.lie_helped());
+        }
+    }
+
+    #[test]
+    fn is_amf_accepts_any_valid_split_and_rejects_others() {
+        let inst = Instance::new(
+            vec![ri(6), ri(2)],
+            vec![vec![ri(6), ri(0)], vec![ri(6), ri(2)]],
+        )
+        .unwrap();
+        // The solver's own output verifies.
+        let solved = AmfSolver::new().allocate(&inst);
+        assert!(is_amf(&inst, &solved));
+        // A *different* split with the same aggregates also verifies.
+        let alt = crate::model::Allocation::from_split(vec![
+            vec![ri(4), ri(0)],
+            vec![ri(2), ri(2)],
+        ]);
+        assert!(is_amf(&inst, &alt));
+        // The per-site baseline's aggregates (3, 5) do not.
+        assert!(!is_amf(&inst, &PerSiteMaxMin.allocate(&inst)));
+        // An infeasible matrix does not.
+        let bad = crate::model::Allocation::from_split(vec![
+            vec![ri(7), ri(0)],
+            vec![ri(1), ri(2)],
+        ]);
+        assert!(!is_amf(&inst, &bad));
+    }
+
+    #[test]
+    fn leximin_cmp_orders_correctly() {
+        use std::cmp::Ordering;
+        let a = [r(1, 1), r(3, 1)];
+        let b = [r(2, 1), r(2, 1)];
+        // sorted: [1,3] vs [2,2]: first element decides.
+        assert_eq!(leximin_cmp(&a, &b), Ordering::Less);
+        assert_eq!(leximin_cmp(&b, &a), Ordering::Greater);
+        assert_eq!(leximin_cmp(&a, &a), Ordering::Equal);
+        // Order-insensitive: permutations compare equal.
+        assert_eq!(leximin_cmp(&[r(3, 1), r(1, 1)], &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn amf_leximin_dominates_psmf_on_the_motivating_example() {
+        let inst = Instance::new(
+            vec![ri(6), ri(2)],
+            vec![vec![ri(6), ri(0)], vec![ri(6), ri(2)]],
+        )
+        .unwrap();
+        let amf = AmfSolver::new().allocate(&inst);
+        let psmf = PerSiteMaxMin.allocate(&inst);
+        assert_eq!(
+            leximin_cmp(amf.aggregates(), psmf.aggregates()),
+            std::cmp::Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn probe_reports_truthful_aggregate() {
+        let inst = si_violation_instance();
+        let probe =
+            probe_strategy_proofness(&inst, 0, vec![ri(5), ri(5)], &AmfSolver::new());
+        // "Lying" with the truth changes nothing.
+        assert_eq!(probe.truthful, probe.useful_when_lying);
+    }
+}

@@ -1,0 +1,725 @@
+//! The AMF progressive-filling solver.
+//!
+//! Computes the Aggregate Max-min Fair allocation: the lexicographically
+//! greatest (sorted ascending) feasible vector of aggregate allocations
+//! `A_j = Σ_s x[j][s]`, optionally with job weights (fairness on `A_j/w_j`)
+//! and per-job floors (Enhanced AMF's sharing-incentive guarantee).
+//!
+//! # Algorithm
+//!
+//! Classic progressive filling, with the bottleneck set found by a
+//! Dinkelbach iteration over max-flow feasibility checks (Megiddo-style
+//! lexicographically optimal flows):
+//!
+//! 1. Every *active* job targets `u_j(t) = clamp(w_j t, floor_j, D_j)` at
+//!    water level `t`; *frozen* jobs keep their fixed aggregate.
+//! 2. Level `t` is feasible iff the allocation network admits a flow
+//!    saturating every source cap. We search for the largest feasible `t`:
+//!    start at the level where every active job is demand-capped; while
+//!    infeasible, read the violating job set `J` off the min cut, and lower
+//!    `t` to the level at which `J`'s polymatroid constraint
+//!    `Σ_{j∈J} u_j(t) = f(J) - Σ_{frozen∈J} A_j` becomes tight
+//!    ([`crate::levels::invert_total`]). Each step strictly lowers `t` and
+//!    pins a new subset, so the iteration is finite.
+//! 3. At the resulting `t*`, freeze every active job that is demand-capped
+//!    or has no residual path to the sink (it sits in a tight set and can
+//!    never grow). At least one job freezes per round, so there are at most
+//!    `n` rounds.
+//! 4. A final max flow with source caps fixed to the frozen aggregates
+//!    yields one feasible per-site split.
+//!
+//! With the exact [`Rational`](amf_numeric::Rational) scalar the result is
+//! the exact AMF vector (cross-checked against brute-force subset
+//! enumeration in [`crate::reference`]); with `f64` all comparisons use a
+//! relative tolerance.
+
+use crate::levels::{invert_total, LevelCap};
+use crate::model::{Allocation, Instance};
+use amf_flow::AllocationNetwork;
+use amf_numeric::{max2, min2, sum, Scalar};
+
+/// Which fairness objective the solver computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FairnessMode {
+    /// Plain AMF: max-min fairness on the aggregate allocations.
+    #[default]
+    Plain,
+    /// Enhanced AMF: max-min fairness subject to the sharing-incentive
+    /// floors `A_j >= e_j` (equal shares). Guarantees sharing incentive.
+    Enhanced,
+}
+
+/// Why a job's allocation stopped growing in a progressive-filling round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreezeReason {
+    /// The job reached its total demand (it wants nothing more).
+    DemandCapped,
+    /// The job sits in a tight set: the capacity reachable through its
+    /// demand edges is exhausted at this level.
+    Bottlenecked,
+}
+
+/// One progressive-filling round: the water level reached and the jobs
+/// frozen at it. The sequence of rounds *explains* an AMF allocation —
+/// which jobs are demand-limited, which share which bottleneck, and at
+/// what level — which is what an operator asks of a fair scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreezeRound<S> {
+    /// The water level of this round.
+    pub level: S,
+    /// `(job, reason)` for every job frozen in this round.
+    pub frozen: Vec<(usize, FreezeReason)>,
+}
+
+/// Diagnostics from one solver run (used by the ablation benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Progressive-filling rounds executed (each freezes >= 1 job).
+    pub rounds: usize,
+    /// Total Dinkelbach (feasibility) iterations across rounds.
+    pub dinkelbach_iterations: usize,
+    /// Total max-flow computations, including the final split extraction.
+    pub max_flows: usize,
+    /// Feasibility checks that had to discard the previous flow (always
+    /// equals `max_flows` when warm starts are disabled).
+    pub flow_resets: usize,
+}
+
+/// Result of an AMF solve: the allocation, the frozen levels, and stats.
+#[derive(Debug, Clone)]
+pub struct SolveOutput<S> {
+    /// The AMF allocation (split + aggregates).
+    pub allocation: Allocation<S>,
+    /// The freeze structure: one entry per progressive-filling round,
+    /// in round order (explains the allocation; see [`FreezeRound`]).
+    pub rounds: Vec<FreezeRound<S>>,
+    /// Solver diagnostics.
+    pub stats: SolveStats,
+}
+
+/// The AMF solver. Construct with [`AmfSolver::new`] (plain) or
+/// [`AmfSolver::enhanced`], then call [`AmfSolver::solve`].
+///
+/// ```
+/// use amf_core::{AmfSolver, Instance};
+/// // Two sites of capacity 6 and 2; job 0 lives only at site 0, job 1 at
+/// // both. AMF equalizes the aggregates at 4 each.
+/// let inst = Instance::new(
+///     vec![6.0, 2.0],
+///     vec![vec![6.0, 0.0], vec![6.0, 2.0]],
+/// ).unwrap();
+/// let out = AmfSolver::new().solve(&inst);
+/// assert!((out.allocation.aggregate(0) - 4.0).abs() < 1e-9);
+/// assert!((out.allocation.aggregate(1) - 4.0).abs() < 1e-9);
+/// ```
+/// How the solver locates the largest feasible water level each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BottleneckStrategy {
+    /// Descend from the demand-capped upper bound, jumping directly to the
+    /// tight level of the min cut's violating set (default; exact and
+    /// typically converges in 1–3 feasibility checks per round).
+    Dinkelbach,
+    /// Classic Megiddo-style bisection: halve a feasible/infeasible
+    /// bracket `iterations` times, then run the Dinkelbach tail from the
+    /// infeasible side so the final level is still *exact*. Exists for the
+    /// algorithm ablation (see the ablation bench); more feasibility
+    /// checks, same answers.
+    Bisection {
+        /// Number of halvings before the exact tail (8–24 is sensible).
+        iterations: usize,
+    },
+}
+
+/// The AMF solver: progressive filling with flow-based bottleneck
+/// detection. See the [module docs](self) for the algorithm and
+/// [`AmfSolver::new`]'s example for usage.
+#[derive(Debug, Clone, Copy)]
+pub struct AmfSolver {
+    mode: FairnessMode,
+    warm_start: bool,
+    bottleneck: BottleneckStrategy,
+}
+
+impl Default for AmfSolver {
+    fn default() -> Self {
+        AmfSolver::new()
+    }
+}
+
+impl AmfSolver {
+    /// Plain AMF.
+    pub fn new() -> Self {
+        AmfSolver {
+            mode: FairnessMode::Plain,
+            warm_start: true,
+            bottleneck: BottleneckStrategy::Dinkelbach,
+        }
+    }
+
+    /// Enhanced AMF (sharing-incentive floors).
+    pub fn enhanced() -> Self {
+        AmfSolver {
+            mode: FairnessMode::Enhanced,
+            warm_start: true,
+            bottleneck: BottleneckStrategy::Dinkelbach,
+        }
+    }
+
+    /// Disable flow warm starts between feasibility checks. The result is
+    /// identical (max-flow values are unique); this exists for the
+    /// warm-start ablation bench.
+    pub fn without_warm_start(mut self) -> Self {
+        self.warm_start = false;
+        self
+    }
+
+    /// Use bisection bottleneck search (see [`BottleneckStrategy`]).
+    pub fn with_bisection(mut self, iterations: usize) -> Self {
+        self.bottleneck = BottleneckStrategy::Bisection { iterations };
+        self
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> FairnessMode {
+        self.mode
+    }
+
+    /// Compute the AMF allocation for `inst`.
+    pub fn solve<S: Scalar>(&self, inst: &Instance<S>) -> SolveOutput<S> {
+        let n = inst.n_jobs();
+        let mut stats = SolveStats::default();
+        if n == 0 {
+            return SolveOutput {
+                allocation: Allocation::from_split(Vec::new()),
+                rounds: Vec::new(),
+                stats,
+            };
+        }
+
+        // Per-job cap functions.
+        let caps: Vec<LevelCap<S>> = (0..n)
+            .map(|j| {
+                let ceil = inst.total_demand(j);
+                let floor = match self.mode {
+                    FairnessMode::Plain => S::ZERO,
+                    // The equal-share floor: always jointly feasible, and
+                    // never above the total demand.
+                    FairnessMode::Enhanced => min2(inst.equal_share(j), ceil),
+                };
+                LevelCap::new(inst.weight(j), floor, ceil)
+            })
+            .collect();
+
+        // `None` = active, `Some(a)` = frozen at aggregate `a`.
+        let mut frozen: Vec<Option<S>> = caps
+            .iter()
+            .map(|c| if c.ceil.is_positive() { None } else { Some(S::ZERO) })
+            .collect();
+
+        let mut net = AllocationNetwork::new(inst.demands(), inst.capacities());
+        let mut rounds: Vec<FreezeRound<S>> = Vec::new();
+
+        while frozen.iter().any(Option::is_none) {
+            stats.rounds += 1;
+            // Upper bound: the level at which every active job is at its
+            // ceiling (u_j flat beyond its high breakpoint).
+            let mut t = S::ZERO;
+            for (j, c) in caps.iter().enumerate() {
+                if frozen[j].is_none() {
+                    t = max2(t, c.high_breakpoint());
+                }
+            }
+
+            // Bisection pre-bracketing (ablation mode): narrow [lo, hi]
+            // by halving before the exact Dinkelbach tail.
+            if let BottleneckStrategy::Bisection { iterations } = self.bottleneck {
+                let mut lo = S::ZERO;
+                let mut hi = t;
+                stats.max_flows += 1;
+                let (flow, target) = self.check_level(&mut net, &caps, &frozen, hi, &mut stats);
+                if !close_rel(flow, target) {
+                    for _ in 0..iterations {
+                        let mid = (lo + hi) / S::from_usize(2);
+                        stats.max_flows += 1;
+                        let (flow, target) =
+                            self.check_level(&mut net, &caps, &frozen, mid, &mut stats);
+                        if close_rel(flow, target) {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    // Resume the exact tail from the infeasible side.
+                    t = hi;
+                    let _ = lo;
+                }
+            }
+
+            // Dinkelbach descent to the largest feasible level.
+            let t_star = loop {
+                stats.dinkelbach_iterations += 1;
+                stats.max_flows += 1;
+                let (flow, target) = self.check_level(&mut net, &caps, &frozen, t, &mut stats);
+                if close_rel(flow, target) {
+                    break t;
+                }
+                // Infeasible: the min cut names the violating job set J.
+                let side = net.source_side_jobs();
+                let budget = residual_budget(inst, &frozen, &side);
+                let sub_caps: Vec<LevelCap<S>> = side
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &inside)| inside && frozen[j].is_none())
+                    .map(|(j, _)| caps[j])
+                    .collect();
+                debug_assert!(
+                    !sub_caps.is_empty(),
+                    "violating set without active jobs: frozen state infeasible"
+                );
+                let t_next = invert_total(&sub_caps, budget);
+                if !t_next.definitely_lt(t) {
+                    // No numerical progress (f64 only): accept the current
+                    // level; the freeze step below still terminates.
+                    break t_next;
+                }
+                t = t_next;
+            };
+
+            // Re-establish the max flow at t_star if the loop exited on a
+            // lowered level without re-checking.
+            stats.max_flows += 1;
+            let (flow, target) = self.check_level(&mut net, &caps, &frozen, t_star, &mut stats);
+            debug_assert!(
+                close_rel(flow, target),
+                "level t*={t_star} must be feasible (flow {flow}, target {target})"
+            );
+
+            // Freeze demand-capped jobs and bottlenecked jobs.
+            let can_grow = net.jobs_with_residual_to_sink();
+            let mut froze_any = false;
+            let mut round = FreezeRound {
+                level: t_star,
+                frozen: Vec::new(),
+            };
+            for j in 0..n {
+                if frozen[j].is_some() {
+                    continue;
+                }
+                let u = caps[j].at(t_star);
+                if !u.definitely_lt(caps[j].ceil) {
+                    frozen[j] = Some(caps[j].ceil);
+                    round.frozen.push((j, FreezeReason::DemandCapped));
+                    froze_any = true;
+                } else if !can_grow[j] {
+                    frozen[j] = Some(u);
+                    round.frozen.push((j, FreezeReason::Bottlenecked));
+                    froze_any = true;
+                }
+            }
+            if froze_any {
+                rounds.push(round);
+            }
+            if !froze_any {
+                // Safety net for f64 rounding: freeze everything at the
+                // current level rather than loop forever. Unreachable with
+                // exact arithmetic (a maximal feasible level always has a
+                // tight set).
+                debug_assert!(!S::EXACT, "exact solve failed to freeze a job");
+                let mut round = FreezeRound {
+                    level: t_star,
+                    frozen: Vec::new(),
+                };
+                for j in 0..n {
+                    if frozen[j].is_none() {
+                        frozen[j] = Some(caps[j].at(t_star));
+                        round.frozen.push((j, FreezeReason::Bottlenecked));
+                    }
+                }
+                rounds.push(round);
+            }
+        }
+
+        // Final split: fix every source cap to the frozen aggregate.
+        net.reset_flow();
+        for (j, a) in frozen.iter().enumerate() {
+            net.set_job_cap(j, a.expect("all jobs frozen"));
+        }
+        stats.max_flows += 1;
+        let total = net.run_max_flow();
+        let expected = sum(frozen.iter().map(|a| a.unwrap()));
+        debug_assert!(
+            close_rel(total, expected),
+            "final split does not realize the frozen aggregates"
+        );
+        let allocation = Allocation::from_split(net.split_matrix());
+
+        SolveOutput {
+            allocation,
+            rounds,
+            stats,
+        }
+    }
+
+    /// Set source caps for level `t`, recompute the max flow, and return
+    /// `(flow, target)`.
+    ///
+    /// Warm start: when every new cap is at least the flow already on its
+    /// source edge, the current flow remains feasible and Dinic only
+    /// augments. Caps shrink only on Dinkelbach descents, which then pay
+    /// one full recompute. Max-flow values are unique, so warm and cold
+    /// paths give identical results.
+    fn check_level<S: Scalar>(
+        &self,
+        net: &mut AllocationNetwork<S>,
+        caps: &[LevelCap<S>],
+        frozen: &[Option<S>],
+        t: S,
+        stats: &mut SolveStats,
+    ) -> (S, S) {
+        let us: Vec<S> = caps
+            .iter()
+            .enumerate()
+            .map(|(j, c)| match frozen[j] {
+                Some(a) => a,
+                None => c.at(t),
+            })
+            .collect();
+        let keep_flow = self.warm_start
+            && us
+                .iter()
+                .enumerate()
+                .all(|(j, &u)| !u.definitely_lt(net.job_flow(j)));
+        if !keep_flow {
+            net.reset_flow();
+            stats.flow_resets += 1;
+        }
+        let mut target = S::ZERO;
+        for (j, &u) in us.iter().enumerate() {
+            // With f64 a kept flow may exceed the new cap by <= eps; clamp
+            // the cap up so the invariant `flow <= cap` holds exactly.
+            let u_safe = if keep_flow {
+                amf_numeric::max2(u, net.job_flow(j))
+            } else {
+                u
+            };
+            net.set_job_cap(j, u_safe);
+            target += u;
+        }
+        let flow = net.run_max_flow();
+        (flow, target)
+    }
+}
+
+/// `f(J) - Σ_{frozen j ∈ J} A_j`: the resource left for the active members
+/// of the violating set `J`.
+fn residual_budget<S: Scalar>(inst: &Instance<S>, frozen: &[Option<S>], side: &[bool]) -> S {
+    let mut budget = inst.rank(side);
+    for (j, &inside) in side.iter().enumerate() {
+        if inside {
+            if let Some(a) = frozen[j] {
+                budget -= a;
+            }
+        }
+    }
+    budget
+}
+
+/// Relative-tolerance equality used for flow-vs-target comparisons, where
+/// both sides are sums over up to `n` jobs. Exact types compare exactly.
+fn close_rel<S: Scalar>(a: S, b: S) -> bool {
+    let diff = if a > b { a - b } else { b - a };
+    let scale = S::ONE + max2(a, b);
+    !(diff > S::eps() * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_numeric::Rational;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn ri(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::<f64>::new(vec![5.0], vec![]).unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        assert_eq!(out.allocation.n_jobs(), 0);
+    }
+
+    #[test]
+    fn single_site_matches_water_filling() {
+        // AMF on one site must equal conventional max-min fairness.
+        let inst = Instance::new(
+            vec![7.0],
+            vec![vec![1.0], vec![10.0], vec![10.0]],
+        )
+        .unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        let a = out.allocation.aggregates();
+        assert!((a[0] - 1.0).abs() < 1e-9);
+        assert!((a[1] - 3.0).abs() < 1e-9);
+        assert!((a[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_fairness_across_sites() {
+        // The motivating example: job 0 is locked to site 0, job 1 can use
+        // both. Per-site fairness would give job 1 an aggregate of 3+2=5
+        // and job 0 only 3; AMF equalizes at 4/4.
+        let inst = Instance::new(
+            vec![6.0, 2.0],
+            vec![vec![6.0, 0.0], vec![6.0, 2.0]],
+        )
+        .unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        assert!((out.allocation.aggregate(0) - 4.0).abs() < 1e-9);
+        assert!((out.allocation.aggregate(1) - 4.0).abs() < 1e-9);
+        assert!(out.allocation.is_feasible(&inst));
+    }
+
+    #[test]
+    fn exact_rational_three_jobs_share_one_site() {
+        let inst = Instance::new(
+            vec![ri(7)],
+            vec![vec![ri(7)], vec![ri(7)], vec![ri(7)]],
+        )
+        .unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        for j in 0..3 {
+            assert_eq!(out.allocation.aggregate(j), r(7, 3));
+        }
+    }
+
+    #[test]
+    fn demand_capped_job_frees_capacity() {
+        // Job 0 demands only 1; jobs 1,2 split the rest.
+        let inst = Instance::new(
+            vec![ri(10)],
+            vec![vec![ri(1)], vec![ri(10)], vec![ri(10)]],
+        )
+        .unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        assert_eq!(out.allocation.aggregate(0), ri(1));
+        assert_eq!(out.allocation.aggregate(1), r(9, 2));
+        assert_eq!(out.allocation.aggregate(2), r(9, 2));
+    }
+
+    #[test]
+    fn multi_level_freezing() {
+        // Three bottleneck levels: job 0 stuck at a tiny site, job 1 at a
+        // medium one, job 2 rich.
+        let inst = Instance::new(
+            vec![ri(1), ri(4), ri(100)],
+            vec![
+                vec![ri(50), ri(0), ri(0)],
+                vec![ri(0), ri(50), ri(0)],
+                vec![ri(0), ri(0), ri(50)],
+            ],
+        )
+        .unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        assert_eq!(out.allocation.aggregate(0), ri(1));
+        assert_eq!(out.allocation.aggregate(1), ri(4));
+        assert_eq!(out.allocation.aggregate(2), ri(50));
+        assert!(out.stats.rounds >= 2);
+    }
+
+    #[test]
+    fn shared_bottleneck_splits_equally() {
+        // Jobs 0 and 1 share a site of capacity 2; job 1 also reaches a
+        // second site. AMF: raise both; job 0 freezes when site 0 is
+        // exhausted *after* job 1 has shifted its usage away.
+        let inst = Instance::new(
+            vec![ri(2), ri(3)],
+            vec![vec![ri(2), ri(0)], vec![ri(2), ri(3)]],
+        )
+        .unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        // Feasible aggregates: f({0}) = 2, f({0,1}) = 2 + 3 = 5.
+        // Max-min: A_0 = 2, A_1 = 3 (job 1's own demand cap is 5, but the
+        // shared site limits the pair to 5 total; max-min gives 2/3? No:
+        // f({1}) = min(2,2)+min(3,3) = 5, so job 1 alone could take 5.
+        // Water level: t=2 needs 4 total <= f = 5 ok and f({0}) = 2 -> job0
+        // freezes at 2; then job 1 grows to 5 - 2 = 3.
+        assert_eq!(out.allocation.aggregate(0), ri(2));
+        assert_eq!(out.allocation.aggregate(1), ri(3));
+    }
+
+    #[test]
+    fn weighted_amf_respects_weights() {
+        let inst = Instance::weighted(
+            vec![ri(4)],
+            vec![vec![ri(10)], vec![ri(10)]],
+            vec![ri(1), ri(3)],
+        )
+        .unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        assert_eq!(out.allocation.aggregate(0), ri(1));
+        assert_eq!(out.allocation.aggregate(1), ri(3));
+    }
+
+    #[test]
+    fn enhanced_mode_guarantees_equal_share() {
+        // An instance where plain AMF violates sharing incentive:
+        // job 0 is confined to site 0, which everyone can flood; its equal
+        // share uses a *reserved* 1/n slice of site 0, but plain AMF lets
+        // jobs 1,2 (who have huge demand elsewhere... here we engineer via
+        // weights of locality) — see properties tests for the generic
+        // search; here just verify floors hold in Enhanced mode.
+        let inst = Instance::new(
+            vec![ri(6), ri(6)],
+            vec![
+                vec![ri(6), ri(0)],
+                vec![ri(6), ri(6)],
+                vec![ri(6), ri(6)],
+            ],
+        )
+        .unwrap();
+        let out = AmfSolver::enhanced().solve(&inst);
+        for j in 0..3 {
+            assert!(
+                out.allocation.aggregate(j) >= inst.equal_share(j),
+                "job {j} below its equal share"
+            );
+        }
+        assert!(out.allocation.is_feasible(&inst));
+    }
+
+    #[test]
+    fn f64_and_rational_agree() {
+        let inst_q = Instance::new(
+            vec![ri(5), ri(9), ri(2)],
+            vec![
+                vec![ri(3), ri(1), ri(2)],
+                vec![ri(4), ri(9), ri(0)],
+                vec![ri(0), ri(5), ri(2)],
+                vec![ri(2), ri(2), ri(2)],
+            ],
+        )
+        .unwrap();
+        let inst_f = inst_q.map(|v| v.to_f64());
+        let out_q = AmfSolver::new().solve(&inst_q);
+        let out_f = AmfSolver::new().solve(&inst_f);
+        for j in 0..4 {
+            let exact = out_q.allocation.aggregate(j).to_f64();
+            let approx = out_f.allocation.aggregate(j);
+            assert!(
+                (exact - approx).abs() < 1e-6,
+                "job {j}: exact {exact} vs f64 {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_is_maximal() {
+        // AMF is Pareto efficient, so the total allocation equals the rank
+        // of the full job set.
+        let inst = Instance::new(
+            vec![ri(5), ri(3)],
+            vec![vec![ri(2), ri(3)], vec![ri(4), ri(0)], vec![ri(1), ri(1)]],
+        )
+        .unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        let all = vec![true; 3];
+        assert_eq!(out.allocation.total(), inst.rank(&all));
+    }
+
+    #[test]
+    fn bisection_and_dinkelbach_agree_exactly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(57);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..7usize);
+            let m = rng.gen_range(1..5usize);
+            let inst = Instance::new(
+                (0..m).map(|_| ri(rng.gen_range(0..12))).collect(),
+                (0..n)
+                    .map(|_| (0..m).map(|_| ri(rng.gen_range(0..10))).collect())
+                    .collect(),
+            )
+            .unwrap();
+            let dink = AmfSolver::new().solve(&inst);
+            let bisect = AmfSolver::new().with_bisection(12).solve(&inst);
+            assert_eq!(
+                dink.allocation.aggregates(),
+                bisect.allocation.aggregates(),
+                "strategies disagree"
+            );
+            // Bisection spends at least as many feasibility checks.
+            assert!(bisect.stats.max_flows >= dink.stats.max_flows);
+        }
+    }
+
+    #[test]
+    fn warm_and_cold_starts_agree_exactly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..7usize);
+            let m = rng.gen_range(1..5usize);
+            let inst = Instance::new(
+                (0..m).map(|_| ri(rng.gen_range(0..12))).collect(),
+                (0..n)
+                    .map(|_| (0..m).map(|_| ri(rng.gen_range(0..10))).collect())
+                    .collect(),
+            )
+            .unwrap();
+            let warm = AmfSolver::new().solve(&inst);
+            let cold = AmfSolver::new().without_warm_start().solve(&inst);
+            assert_eq!(
+                warm.allocation.aggregates(),
+                cold.allocation.aggregates(),
+                "warm/cold disagree"
+            );
+            assert!(warm.stats.flow_resets <= cold.stats.flow_resets);
+        }
+    }
+
+    #[test]
+    fn freeze_rounds_explain_the_allocation() {
+        use super::FreezeReason;
+        // Job 0 stuck at a tiny site (bottlenecked early), job 1 demand-
+        // capped on a huge one.
+        let inst = Instance::new(
+            vec![ri(1), ri(100)],
+            vec![vec![ri(50), ri(0)], vec![ri(0), ri(8)]],
+        )
+        .unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        assert_eq!(out.rounds.len(), 2);
+        // Round 1: level 1 — job 0 bottlenecked at the 1-slot site.
+        assert_eq!(out.rounds[0].level, ri(1));
+        assert_eq!(out.rounds[0].frozen, vec![(0, FreezeReason::Bottlenecked)]);
+        // Round 2: level 8 — job 1 hits its total demand.
+        assert_eq!(out.rounds[1].level, ri(8));
+        assert_eq!(out.rounds[1].frozen, vec![(1, FreezeReason::DemandCapped)]);
+        // Levels are nondecreasing and every job appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for w in out.rounds.windows(2) {
+            assert!(w[0].level <= w[1].level);
+        }
+        for round in &out.rounds {
+            for (j, _) in &round.frozen {
+                assert!(seen.insert(*j), "job {j} frozen twice");
+            }
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let inst = Instance::new(vec![4.0], vec![vec![4.0], vec![4.0]]).unwrap();
+        let out = AmfSolver::new().solve(&inst);
+        assert!(out.stats.rounds >= 1);
+        assert!(out.stats.max_flows >= out.stats.rounds);
+        assert!(out.stats.dinkelbach_iterations >= 1);
+    }
+}

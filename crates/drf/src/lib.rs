@@ -1,0 +1,36 @@
+//! Dominant Resource Fairness (DRF) — multi-resource max-min fairness.
+//!
+//! The paper generalizes *conventional* max-min fairness from one pool to
+//! distributed execution over sites. The conventional notion itself has a
+//! standard multi-resource generalization — DRF (Ghodsi et al., NSDI
+//! 2011): equalize each job's **dominant share**, its maximum share of any
+//! single resource. This crate implements DRF with the same idioms as the
+//! rest of the workspace (progressive filling, `Scalar`-generic exact or
+//! `f64` arithmetic, property checkers), providing:
+//!
+//! * [`DrfPool`] — a multi-resource pool with per-task demand vectors and
+//!   optional task-count caps;
+//! * [`DrfPool::solve`] — the exact (weighted) DRF allocation by
+//!   progressive filling on dominant shares;
+//! * [`PerSiteDrf`] — DRF run independently at every site of a
+//!   multi-site, multi-resource system: the multi-resource analogue of the
+//!   paper's per-site baseline. Its aggregate dominant shares exhibit the
+//!   same imbalance AMF fixes in the single-resource world, which is what
+//!   makes a future "aggregate DRF" interesting (see the module docs of
+//!   [`multi_site`]).
+//!
+//! All fluid: task counts are continuous, as in the DRF paper's analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// See the workspace convention (DESIGN.md): NaN is rejected at the model
+// boundary, so negated partial-order comparisons are total.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod multi_site;
+mod pool;
+pub mod properties;
+
+pub use multi_site::{aggregate_drf_heuristic, MultiSiteDrfInstance, PerSiteDrf};
+pub use pool::{DrfAllocation, DrfError, DrfJob, DrfPool};

@@ -1,0 +1,148 @@
+//! Property checkers for DRF allocations (the DRF paper proves all four
+//! properties hold; these checkers verify them on concrete outputs, and
+//! the proptests in `tests/` exercise them with exact arithmetic).
+
+use crate::pool::{DrfAllocation, DrfPool};
+use amf_numeric::{min2, Scalar};
+
+/// **Pareto efficiency**: every job is demand-capped, has zero demand, or
+/// touches a saturated resource (so no job's task count can grow).
+pub fn is_pareto_efficient<S: Scalar>(pool: &DrfPool<S>, alloc: &DrfAllocation<S>) -> bool {
+    let m = pool.n_resources();
+    let saturated: Vec<bool> = (0..m)
+        .map(|r| alloc.usage[r].approx_eq(pool.capacities()[r]))
+        .collect();
+    (0..pool.n_jobs()).all(|j| {
+        let job = &pool.jobs()[j];
+        let zero_demand = !pool.per_task_share(j).is_positive();
+        let capped = job
+            .max_tasks
+            .is_some_and(|mt| !alloc.tasks[j].definitely_lt(mt));
+        let blocked = (0..m).any(|r| saturated[r] && job.demand[r].is_positive());
+        zero_demand || capped || blocked
+    })
+}
+
+/// **Sharing incentive** (unweighted): every job's dominant share is at
+/// least `min(cap_j, 1/n)` — what it would get from a static `1/n` slice
+/// of every resource.
+pub fn satisfies_sharing_incentive<S: Scalar>(
+    pool: &DrfPool<S>,
+    alloc: &DrfAllocation<S>,
+) -> bool {
+    let n = pool.n_jobs();
+    if n == 0 {
+        return true;
+    }
+    let slice = S::ONE / S::from_usize(n);
+    (0..n).all(|j| {
+        let cap = pool.jobs()[j]
+            .max_tasks
+            .map(|mt| mt * pool.per_task_share(j));
+        let entitlement = match cap {
+            Some(c) => min2(c, slice),
+            None => slice,
+        };
+        // Zero-demand jobs are vacuously fine.
+        !pool.per_task_share(j).is_positive()
+            || !alloc.dominant_shares[j].definitely_lt(entitlement)
+    })
+}
+
+/// **Envy-freeness** (weight-normalized): job `j` envies job `k` if `k`'s
+/// resource bundle would let `j` run strictly more weighted tasks than its
+/// own allocation does (capped at `j`'s task cap).
+pub fn is_envy_free<S: Scalar>(pool: &DrfPool<S>, alloc: &DrfAllocation<S>) -> bool {
+    let n = pool.n_jobs();
+    let m = pool.n_resources();
+    for j in 0..n {
+        if !pool.per_task_share(j).is_positive() {
+            continue;
+        }
+        let own = alloc.tasks[j] / pool.jobs()[j].weight;
+        for k in 0..n {
+            if j == k {
+                continue;
+            }
+            // Tasks of j that k's bundle supports.
+            let mut supported: Option<S> = None;
+            for r in 0..m {
+                let need = pool.jobs()[j].demand[r];
+                if need.is_positive() {
+                    let bundle_r = alloc.tasks[k] * pool.jobs()[k].demand[r];
+                    let t = bundle_r / need;
+                    supported = Some(match supported {
+                        None => t,
+                        Some(cur) => min2(cur, t),
+                    });
+                }
+            }
+            let mut value = supported.unwrap_or(S::ZERO);
+            if let Some(mt) = pool.jobs()[j].max_tasks {
+                value = min2(value, mt);
+            }
+            if (value / pool.jobs()[k].weight).definitely_gt(own) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::DrfJob;
+    use amf_numeric::Rational;
+
+    fn ri(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn paper_pool() -> DrfPool<Rational> {
+        DrfPool::new(
+            vec![ri(9), ri(18)],
+            vec![
+                DrfJob::new(vec![ri(1), ri(4)]),
+                DrfJob::new(vec![ri(3), ri(1)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_satisfies_all_properties() {
+        let pool = paper_pool();
+        let alloc = pool.solve();
+        assert!(is_pareto_efficient(&pool, &alloc));
+        assert!(satisfies_sharing_incentive(&pool, &alloc));
+        assert!(is_envy_free(&pool, &alloc));
+    }
+
+    #[test]
+    fn underallocated_output_fails_pareto() {
+        let pool = paper_pool();
+        let half = DrfAllocation {
+            dominant_shares: vec![Rational::new(1, 3), Rational::new(1, 3)],
+            tasks: vec![Rational::new(3, 2), ri(1)],
+            usage: vec![Rational::new(9, 2), ri(7)],
+        };
+        assert!(!is_pareto_efficient(&pool, &half));
+    }
+
+    #[test]
+    fn lopsided_allocation_fails_envy_freeness() {
+        let pool = DrfPool::new(
+            vec![ri(10)],
+            vec![DrfJob::new(vec![ri(1)]), DrfJob::new(vec![ri(1)])],
+        )
+        .unwrap();
+        let unfair = DrfAllocation {
+            dominant_shares: vec![Rational::new(1, 10), Rational::new(9, 10)],
+            tasks: vec![ri(1), ri(9)],
+            usage: vec![ri(10)],
+        };
+        assert!(!is_envy_free(&pool, &unfair));
+        assert!(!satisfies_sharing_incentive(&pool, &unfair));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based verification of the DRF solver with exact arithmetic:
+//! the four DRF-paper properties hold on random pools.
+
+use amf_drf::properties::{is_envy_free, is_pareto_efficient, satisfies_sharing_incentive};
+use amf_drf::{DrfJob, DrfPool};
+use amf_numeric::Rational;
+use proptest::prelude::*;
+
+fn random_pool() -> impl Strategy<Value = DrfPool<Rational>> {
+    (1usize..5, 1usize..4).prop_flat_map(|(n, m)| {
+        (
+            proptest::collection::vec(1i64..12, m),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(0i64..6, m),
+                    proptest::option::of(1i64..10),
+                ),
+                n,
+            ),
+        )
+            .prop_map(|(caps, jobs)| {
+                DrfPool::new(
+                    caps.into_iter().map(|c| Rational::from_int(c as i128)).collect(),
+                    jobs.into_iter()
+                        .map(|(demand, max_tasks)| {
+                            let mut job = DrfJob::new(
+                                demand
+                                    .into_iter()
+                                    .map(|d| Rational::from_int(d as i128))
+                                    .collect(),
+                            );
+                            if let Some(mt) = max_tasks {
+                                job = job.with_max_tasks(Rational::from_int(mt as i128));
+                            }
+                            job
+                        })
+                        .collect(),
+                )
+                .expect("positive capacities make every pool valid")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn drf_is_feasible_and_pareto(pool in random_pool()) {
+        let alloc = pool.solve();
+        for r in 0..pool.n_resources() {
+            prop_assert!(alloc.usage[r] <= pool.capacities()[r],
+                "resource {} over capacity", r);
+        }
+        for j in 0..pool.n_jobs() {
+            prop_assert!(alloc.tasks[j] >= Rational::ZERO);
+            if let Some(mt) = pool.jobs()[j].max_tasks {
+                prop_assert!(alloc.tasks[j] <= mt);
+            }
+        }
+        prop_assert!(is_pareto_efficient(&pool, &alloc));
+    }
+
+    #[test]
+    fn drf_satisfies_sharing_incentive_and_envy_freeness(pool in random_pool()) {
+        let alloc = pool.solve();
+        prop_assert!(satisfies_sharing_incentive(&pool, &alloc));
+        prop_assert!(is_envy_free(&pool, &alloc));
+    }
+
+    /// Strategy-proofness probe: scaling a job's reported demand vector
+    /// never increases the tasks it can actually run.
+    #[test]
+    fn drf_resists_demand_scaling_lies(
+        pool in random_pool(),
+        liar_pick in 0usize..4,
+        num in 1i64..5,
+        den in 1i64..5,
+    ) {
+        let n = pool.n_jobs();
+        let liar = liar_pick % n;
+        prop_assume!(pool.per_task_share(liar) > Rational::ZERO);
+        let truthful_tasks = pool.solve().tasks[liar];
+        let scale = Rational::new(num as i128, den as i128);
+        let mut jobs = pool.jobs().to_vec();
+        jobs[liar].demand = jobs[liar]
+            .demand
+            .iter()
+            .map(|&d| d * scale)
+            .collect();
+        let lied_pool = DrfPool::new(pool.capacities().to_vec(), jobs).unwrap();
+        let lied = lied_pool.solve();
+        // Usable tasks under the lie: the inflated/deflated bundle runs
+        // min over resources of (granted / true demand) true tasks.
+        let mut usable: Option<Rational> = None;
+        for r in 0..pool.n_resources() {
+            let true_d = pool.jobs()[liar].demand[r];
+            if true_d > Rational::ZERO {
+                let granted = lied.tasks[liar] * lied_pool.jobs()[liar].demand[r];
+                let t = granted / true_d;
+                usable = Some(match usable {
+                    None => t,
+                    Some(cur) => if t < cur { t } else { cur },
+                });
+            }
+        }
+        let mut usable = usable.unwrap_or(Rational::ZERO);
+        if let Some(mt) = pool.jobs()[liar].max_tasks {
+            if usable > mt { usable = mt; }
+        }
+        prop_assert!(
+            usable <= truthful_tasks,
+            "lie helped: truthful {} usable {}", truthful_tasks, usable
+        );
+    }
+}

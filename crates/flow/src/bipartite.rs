@@ -1,0 +1,348 @@
+//! The jobs-by-sites allocation network driven by the AMF solver.
+
+use crate::dinic;
+use crate::graph::{EdgeId, FlowNetwork, NodeId};
+use amf_numeric::Scalar;
+
+/// Bipartite allocation network
+/// `source --(u_j)--> job_j --(d[j][s])--> site_s --(c_s)--> sink`.
+///
+/// The AMF progressive-filling solver repeatedly adjusts the per-job source
+/// caps `u_j` (the water-level targets), recomputes the max flow, and asks
+/// structural questions: is the level feasible? which jobs sit on the source
+/// side of a min cut? which jobs still have a residual path to the sink?
+/// This wrapper owns that vocabulary so the solver reads like the paper's
+/// pseudo-code rather than like graph plumbing.
+#[derive(Debug, Clone)]
+pub struct AllocationNetwork<S> {
+    net: FlowNetwork<S>,
+    n_jobs: usize,
+    n_sites: usize,
+    source: NodeId,
+    sink: NodeId,
+    job_cap_edges: Vec<EdgeId>,
+    site_cap_edges: Vec<EdgeId>,
+    /// Per job: `(site, edge)` for every strictly positive demand.
+    demand_edges: Vec<Vec<(usize, EdgeId)>>,
+}
+
+impl<S: Scalar> AllocationNetwork<S> {
+    /// Build the network for `demands[j][s]` and site `capacities[s]`.
+    /// Job source caps start at zero; set them with
+    /// [`set_job_cap`](Self::set_job_cap) before calling
+    /// [`run_max_flow`](Self::run_max_flow).
+    ///
+    /// # Panics
+    /// Panics on negative demands/capacities or ragged demand rows.
+    pub fn new(demands: &[Vec<S>], capacities: &[S]) -> Self {
+        let n_jobs = demands.len();
+        let n_sites = capacities.len();
+        for row in demands {
+            assert_eq!(row.len(), n_sites, "demand row length != site count");
+        }
+        let mut net: FlowNetwork<S> = FlowNetwork::new(2 + n_jobs + n_sites);
+        let source = 0;
+        let sink = 1;
+        let job_node = |j: usize| 2 + j;
+        let site_node = |s: usize| 2 + n_jobs + s;
+
+        let job_cap_edges = (0..n_jobs)
+            .map(|j| net.add_edge(source, job_node(j), S::ZERO))
+            .collect();
+        let mut demand_edges = Vec::with_capacity(n_jobs);
+        for (j, row) in demands.iter().enumerate() {
+            let mut edges = Vec::new();
+            for (s, &d) in row.iter().enumerate() {
+                assert!(!(d < S::ZERO), "negative demand d[{j}][{s}]");
+                if d.is_positive() {
+                    edges.push((s, net.add_edge(job_node(j), site_node(s), d)));
+                }
+            }
+            demand_edges.push(edges);
+        }
+        let site_cap_edges = capacities
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| {
+                assert!(!(c < S::ZERO), "negative capacity c[{s}]");
+                net.add_edge(site_node(s), sink, c)
+            })
+            .collect();
+
+        AllocationNetwork {
+            net,
+            n_jobs,
+            n_sites,
+            source,
+            sink,
+            job_cap_edges,
+            site_cap_edges,
+            demand_edges,
+        }
+    }
+
+    /// Number of jobs.
+    pub fn n_jobs(&self) -> usize {
+        self.n_jobs
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Set job `j`'s source cap (its water-level target `u_j`).
+    ///
+    /// Shrinking a cap below the current flow requires
+    /// [`reset_flow`](Self::reset_flow) first.
+    pub fn set_job_cap(&mut self, j: usize, cap: S) {
+        self.net.set_capacity(self.job_cap_edges[j], cap);
+    }
+
+    /// Current source cap of job `j`.
+    pub fn job_cap(&self, j: usize) -> S {
+        self.net.capacity(self.job_cap_edges[j])
+    }
+
+    /// Zero all flows (capacities are kept).
+    pub fn reset_flow(&mut self) {
+        self.net.reset_flow();
+    }
+
+    /// Augment to a maximum flow (Dinic), returning the **total** flow now
+    /// leaving the source.
+    pub fn run_max_flow(&mut self) -> S {
+        dinic::max_flow(&mut self.net, self.source, self.sink);
+        self.total_flow()
+    }
+
+    /// Total flow currently leaving the source.
+    pub fn total_flow(&self) -> S {
+        self.net.net_outflow(self.source)
+    }
+
+    /// Aggregate flow (allocation) currently assigned to job `j`.
+    pub fn job_flow(&self, j: usize) -> S {
+        self.net.flow(self.job_cap_edges[j])
+    }
+
+    /// Flow on each site edge of job `j` as `(site, amount)` pairs —
+    /// i.e. a per-site split of its aggregate allocation.
+    pub fn job_split(&self, j: usize) -> impl Iterator<Item = (usize, S)> + '_ {
+        self.demand_edges[j]
+            .iter()
+            .map(move |&(s, e)| (s, self.net.flow(e)))
+    }
+
+    /// The full split as a dense `n_jobs x n_sites` matrix.
+    pub fn split_matrix(&self) -> Vec<Vec<S>> {
+        let mut x = vec![vec![S::ZERO; self.n_sites]; self.n_jobs];
+        for j in 0..self.n_jobs {
+            for (s, v) in self.job_split(j) {
+                x[j][s] = v;
+            }
+        }
+        x
+    }
+
+    /// Preload a known-feasible split (flows along source→job→site→sink for
+    /// every positive entry of `x`). Call on a reset network; afterwards
+    /// [`run_max_flow`](Self::run_max_flow) augments on top of it.
+    ///
+    /// # Panics
+    /// Panics if `x` violates a demand, source-cap, or site capacity.
+    pub fn preload_split(&mut self, x: &[Vec<S>]) {
+        assert_eq!(x.len(), self.n_jobs, "preload_split: row count");
+        for j in 0..self.n_jobs {
+            let mut job_total = S::ZERO;
+            for &(s, e) in &self.demand_edges[j] {
+                let v = x[j][s];
+                if v.is_positive() {
+                    self.net.add_flow(e, v);
+                    job_total += v;
+                }
+            }
+            if job_total.is_positive() {
+                self.net.add_flow(self.job_cap_edges[j], job_total);
+            }
+        }
+        for s in 0..self.n_sites {
+            let mut site_total = S::ZERO;
+            for x_row in x.iter() {
+                if x_row[s].is_positive() {
+                    site_total += x_row[s];
+                }
+            }
+            if site_total.is_positive() {
+                self.net.add_flow(self.site_cap_edges[s], site_total);
+            }
+        }
+    }
+
+    /// After a max flow: the jobs on the **source side** of the minimum cut
+    /// (i.e. the violating set when the current level is infeasible).
+    pub fn source_side_jobs(&self) -> Vec<bool> {
+        let seen = self.net.residual_reachable(self.source);
+        (0..self.n_jobs).map(|j| seen[2 + j]).collect()
+    }
+
+    /// After a max flow: for each job, whether its node still has a residual
+    /// path to the sink — i.e. whether the job's allocation could grow if
+    /// its source cap were raised. Jobs without such a path are bottlenecked
+    /// and freeze at the current level.
+    pub fn jobs_with_residual_to_sink(&self) -> Vec<bool> {
+        // Reverse BFS from the sink: `u` reaches the sink iff some residual
+        // arc u→v exists with v already known to reach the sink. Arcs into
+        // `v` are the companions (`e ^ 1`) of arcs leaving `v`.
+        let n = self.net.node_count();
+        let mut reaches = vec![false; n];
+        reaches[self.sink] = true;
+        let mut stack = vec![self.sink];
+        while let Some(v) = stack.pop() {
+            for &e in self.net.edges_from(v) {
+                let u = self.net.head(e);
+                if !reaches[u] && self.net.residual(e ^ 1).is_positive() {
+                    reaches[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        (0..self.n_jobs).map(|j| reaches[2 + j]).collect()
+    }
+
+    /// Residual capacity of site `s`'s edge to the sink.
+    pub fn site_residual(&self, s: usize) -> S {
+        self.net.residual(self.site_cap_edges[s])
+    }
+
+    /// Immutable access to the underlying network (for diagnostics/tests).
+    pub fn network(&self) -> &FlowNetwork<S> {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_numeric::Rational;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// Two jobs, one site of capacity 10; both demand 10 there.
+    #[test]
+    fn contention_on_single_site() {
+        let demands = vec![vec![10.0], vec![10.0]];
+        let mut net = AllocationNetwork::new(&demands, &[10.0]);
+        net.set_job_cap(0, 10.0);
+        net.set_job_cap(1, 10.0);
+        let total = net.run_max_flow();
+        assert_eq!(total, 10.0);
+        // With caps 5 each, both can be satisfied exactly.
+        let mut net2 = AllocationNetwork::new(&demands, &[10.0]);
+        net2.set_job_cap(0, 5.0);
+        net2.set_job_cap(1, 5.0);
+        assert_eq!(net2.run_max_flow(), 10.0);
+        assert_eq!(net2.job_flow(0), 5.0);
+        assert_eq!(net2.job_flow(1), 5.0);
+    }
+
+    #[test]
+    fn split_respects_demands_and_capacities() {
+        let demands = vec![vec![3.0, 1.0], vec![0.0, 4.0]];
+        let caps = [3.0, 4.0];
+        let mut net = AllocationNetwork::new(&demands, &caps);
+        net.set_job_cap(0, 4.0);
+        net.set_job_cap(1, 4.0);
+        let total = net.run_max_flow();
+        assert!((total - 7.0).abs() < 1e-12);
+        let x = net.split_matrix();
+        for (j, row) in x.iter().enumerate() {
+            for (s, &v) in row.iter().enumerate() {
+                assert!(v <= demands[j][s] + 1e-12);
+            }
+        }
+        for s in 0..2 {
+            let used: f64 = x.iter().map(|row| row[s]).sum();
+            assert!(used <= caps[s] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn source_side_identifies_bottleneck_set() {
+        // Job 0 only at site 0 (cap 1); job 1 only at site 1 (cap 100).
+        // With both caps 10, job 0 is bottlenecked: min cut separates it.
+        // Job 1's demand (20) leaves headroom above its source cap, so it
+        // could still grow.
+        let demands = vec![vec![10.0, 0.0], vec![0.0, 20.0]];
+        let mut net = AllocationNetwork::new(&demands, &[1.0, 100.0]);
+        net.set_job_cap(0, 10.0);
+        net.set_job_cap(1, 10.0);
+        net.run_max_flow();
+        let side = net.source_side_jobs();
+        assert!(side[0], "bottlenecked job must be on the source side");
+        assert!(!side[1]);
+        let grow = net.jobs_with_residual_to_sink();
+        assert!(!grow[0]);
+        // Job 1 is capped by its source edge, not by the site: it could grow.
+        assert!(grow[1]);
+    }
+
+    #[test]
+    fn preload_then_augment_reaches_max() {
+        let demands = vec![vec![2.0, 2.0], vec![2.0, 2.0]];
+        let caps = [3.0, 3.0];
+        let mut net = AllocationNetwork::new(&demands, &caps);
+        net.set_job_cap(0, 3.0);
+        net.set_job_cap(1, 3.0);
+        // Preload a deliberately suboptimal feasible split.
+        let x0 = vec![vec![2.0, 0.0], vec![1.0, 0.0]];
+        net.preload_split(&x0);
+        assert_eq!(net.total_flow(), 3.0);
+        let total = net.run_max_flow();
+        assert!((total - 6.0).abs() < 1e-12);
+        assert!((net.job_flow(0) - 3.0).abs() < 1e-12);
+        assert!((net.job_flow(1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_rational_allocation() {
+        let demands = vec![vec![r(7)], vec![r(7)], vec![r(7)]];
+        let mut net = AllocationNetwork::new(&demands, &[r(7)]);
+        for j in 0..3 {
+            net.set_job_cap(j, Rational::new(7, 3));
+        }
+        let total = net.run_max_flow();
+        assert_eq!(total, r(7));
+        for j in 0..3 {
+            assert_eq!(net.job_flow(j), Rational::new(7, 3));
+        }
+    }
+
+    #[test]
+    fn zero_demand_job_gets_nothing() {
+        let demands = vec![vec![0.0, 0.0], vec![5.0, 0.0]];
+        let mut net = AllocationNetwork::new(&demands, &[5.0, 5.0]);
+        net.set_job_cap(0, 10.0);
+        net.set_job_cap(1, 10.0);
+        net.run_max_flow();
+        assert_eq!(net.job_flow(0), 0.0);
+        assert_eq!(net.job_flow(1), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn ragged_demands_panic() {
+        AllocationNetwork::new(&[vec![1.0], vec![1.0, 2.0]], &[1.0]);
+    }
+
+    #[test]
+    fn site_residual_reports_slack() {
+        let demands = vec![vec![2.0]];
+        let mut net = AllocationNetwork::new(&demands, &[5.0]);
+        net.set_job_cap(0, 2.0);
+        net.run_max_flow();
+        assert!((net.site_residual(0) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,233 @@
+//! Residual flow-network representation.
+
+use amf_numeric::Scalar;
+
+/// Index of a node in a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Index of a (directed) edge in a [`FlowNetwork`].
+///
+/// Edges are created in pairs: `add_edge` returns the id of the forward
+/// edge; `e ^ 1` is always its reverse (residual) companion.
+pub type EdgeId = usize;
+
+#[derive(Debug, Clone)]
+struct Edge<S> {
+    to: NodeId,
+    cap: S,
+    flow: S,
+}
+
+/// A directed flow network with residual edges, generic over the scalar.
+///
+/// The representation is the classic paired-edge adjacency list: every call
+/// to [`FlowNetwork::add_edge`] inserts the forward edge and a zero-capacity
+/// reverse edge at consecutive indices, so residual bookkeeping is `e ^ 1`.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork<S> {
+    adj: Vec<Vec<EdgeId>>,
+    edges: Vec<Edge<S>>,
+}
+
+impl<S: Scalar> FlowNetwork<S> {
+    /// An empty network with `n` nodes (add more with [`add_node`](Self::add_node)).
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges **including** residual companions.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Add a directed edge `from -> to` with capacity `cap`; returns the
+    /// forward edge id (its residual companion is `id ^ 1`).
+    ///
+    /// # Panics
+    /// Panics if `cap < 0` or a node id is out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: S) -> EdgeId {
+        assert!(!(cap < S::ZERO), "add_edge: negative capacity {cap}");
+        assert!(from < self.adj.len() && to < self.adj.len(), "add_edge: node out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap, flow: S::ZERO });
+        self.edges.push(Edge { to: from, cap: S::ZERO, flow: S::ZERO });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// Current flow on a forward edge (may be negative on residual ids).
+    pub fn flow(&self, e: EdgeId) -> S {
+        self.edges[e].flow
+    }
+
+    /// Capacity of an edge.
+    pub fn capacity(&self, e: EdgeId) -> S {
+        self.edges[e].cap
+    }
+
+    /// Residual capacity `cap - flow` of an edge.
+    pub fn residual(&self, e: EdgeId) -> S {
+        self.edges[e].cap - self.edges[e].flow
+    }
+
+    /// Replace the capacity of edge `e`.
+    ///
+    /// # Panics
+    /// Panics if the new capacity is below the edge's current flow — callers
+    /// must [`reset_flow`](Self::reset_flow) first when shrinking capacities
+    /// (the AMF solver lowers the water level only between full recomputes).
+    pub fn set_capacity(&mut self, e: EdgeId, cap: S) {
+        assert!(
+            !(cap < self.edges[e].flow),
+            "set_capacity below current flow; reset_flow first"
+        );
+        self.edges[e].cap = cap;
+    }
+
+    /// Zero all flows, keeping capacities.
+    pub fn reset_flow(&mut self) {
+        for e in &mut self.edges {
+            e.flow = S::ZERO;
+        }
+    }
+
+    /// Push `amount` of flow along edge `e` (and pull it on `e ^ 1`).
+    ///
+    /// Used to preload a known-feasible flow before augmenting (warm start).
+    ///
+    /// # Panics
+    /// Panics if the push exceeds the edge capacity beyond tolerance.
+    pub fn add_flow(&mut self, e: EdgeId, amount: S) {
+        let new = self.edges[e].flow + amount;
+        assert!(
+            !new.definitely_gt(self.edges[e].cap),
+            "add_flow: exceeds capacity"
+        );
+        self.edges[e].flow = new;
+        let r = e ^ 1;
+        self.edges[r].flow -= amount;
+    }
+
+    /// Iterate the edge ids leaving `v` (forward and residual).
+    pub fn edges_from(&self, v: NodeId) -> &[EdgeId] {
+        &self.adj[v]
+    }
+
+    /// Head node of edge `e`.
+    pub fn head(&self, e: EdgeId) -> NodeId {
+        self.edges[e].to
+    }
+
+    /// Net flow out of `v` (useful for conservation checks in tests).
+    pub fn net_outflow(&self, v: NodeId) -> S {
+        let mut total = S::ZERO;
+        for &e in &self.adj[v] {
+            // Forward edges carry +flow; residual companions carry -flow of
+            // their partner, so summing `flow` over all incident edge slots
+            // from `v` yields the net outflow directly.
+            total += self.edges[e].flow;
+        }
+        total
+    }
+
+    /// Nodes reachable from `src` in the residual graph (residual > eps).
+    /// After a max-flow this is the source side of a minimum cut.
+    pub fn residual_reachable(&self, src: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![src];
+        seen[src] = true;
+        while let Some(v) = stack.pop() {
+            for &e in &self.adj[v] {
+                let to = self.edges[e].to;
+                if !seen[to] && self.residual(e).is_positive() {
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut g: FlowNetwork<f64> = FlowNetwork::new(2);
+        let c = g.add_node();
+        assert_eq!(c, 2);
+        let e = g.add_edge(0, 1, 5.0);
+        assert_eq!(g.capacity(e), 5.0);
+        assert_eq!(g.flow(e), 0.0);
+        assert_eq!(g.residual(e), 5.0);
+        assert_eq!(g.head(e), 1);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn add_flow_updates_residuals() {
+        let mut g: FlowNetwork<f64> = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 5.0);
+        g.add_flow(e, 3.0);
+        assert_eq!(g.flow(e), 3.0);
+        assert_eq!(g.residual(e), 2.0);
+        // Reverse edge gained residual capacity.
+        assert_eq!(g.residual(e ^ 1), 3.0);
+        g.reset_flow();
+        assert_eq!(g.flow(e), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn add_flow_over_capacity_panics() {
+        let mut g: FlowNetwork<f64> = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 1.0);
+        g.add_flow(e, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative capacity")]
+    fn negative_capacity_panics() {
+        let mut g: FlowNetwork<f64> = FlowNetwork::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below current flow")]
+    fn shrinking_capacity_under_flow_panics() {
+        let mut g: FlowNetwork<f64> = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 5.0);
+        g.add_flow(e, 4.0);
+        g.set_capacity(e, 3.0);
+    }
+
+    #[test]
+    fn residual_reachability_respects_saturation() {
+        let mut g: FlowNetwork<f64> = FlowNetwork::new(3);
+        let e01 = g.add_edge(0, 1, 1.0);
+        let _e12 = g.add_edge(1, 2, 1.0);
+        g.add_flow(e01, 1.0);
+        let seen = g.residual_reachable(0);
+        assert!(seen[0]);
+        assert!(!seen[1], "saturated edge must block reachability");
+        assert!(!seen[2]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Max-flow substrate for the AMF workspace.
+//!
+//! Checking whether a water level is feasible in Aggregate Max-min Fairness,
+//! finding the bottlenecked job set, and producing a per-site split of an
+//! aggregate allocation are all max-flow / min-cut computations on the
+//! bipartite *allocation network*
+//!
+//! ```text
+//! source --(u_j)--> job_j --(d[j][s])--> site_s --(c_s)--> sink
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`FlowNetwork`] — a residual-graph representation generic over the
+//!   [`Scalar`](amf_numeric::Scalar) numeric type (exact or `f64`);
+//! * [`dinic::max_flow`] — Dinic's algorithm (strongly polynomial, supports
+//!   warm starts from an existing feasible flow);
+//! * [`push_relabel::max_flow`] — FIFO push–relabel, used to cross-check
+//!   Dinic in tests and benchmarked against it in the ablation benches;
+//! * [`AllocationNetwork`] — the jobs-by-sites convenience wrapper the AMF
+//!   solver drives.
+
+#![forbid(unsafe_code)]
+// `!(a < b)` is this workspace's idiom for "a >= b under the total order":
+// NaN is rejected at the model boundary (`Scalar::is_valid`), so negated
+// comparisons are well-defined, and they read correctly next to the
+// tolerance helpers (`definitely_lt` etc.). Indexed matrix loops are kept
+// where the row/column structure is the point.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+#![warn(missing_docs)]
+
+mod bipartite;
+pub mod dinic;
+mod graph;
+pub mod push_relabel;
+
+pub use bipartite::AllocationNetwork;
+pub use graph::{EdgeId, FlowNetwork, NodeId};

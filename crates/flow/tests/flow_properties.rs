@@ -1,0 +1,87 @@
+//! Property-based tests of the max-flow substrate: flow conservation,
+//! max-flow = min-cut duality, and Dinic/push-relabel agreement on random
+//! networks with exact rational capacities.
+
+use amf_flow::{dinic, push_relabel, FlowNetwork};
+use amf_numeric::Rational;
+use proptest::prelude::*;
+
+/// A random small network as an edge list over `n` nodes; node 0 is the
+/// source and node 1 the sink.
+fn random_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
+    (3usize..8).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n, 0..n, 0i64..20).prop_filter("no self-loops", |(a, b, _)| a != b),
+            1..20,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize, i64)]) -> FlowNetwork<Rational> {
+    let mut g = FlowNetwork::new(n);
+    for &(a, b, c) in edges {
+        g.add_edge(a, b, Rational::from_int(c as i128));
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After a max flow: conservation at every internal node, and the flow
+    /// value equals the capacity of the residual-reachability cut
+    /// (max-flow/min-cut duality).
+    #[test]
+    fn conservation_and_duality((n, edges) in random_network()) {
+        let mut g = build(n, &edges);
+        let flow = dinic::max_flow(&mut g, 0, 1);
+        prop_assert!(flow >= Rational::ZERO);
+        // Conservation: net outflow zero everywhere except source/sink.
+        for v in 2..n {
+            prop_assert_eq!(g.net_outflow(v), Rational::ZERO, "node {} leaks", v);
+        }
+        prop_assert_eq!(g.net_outflow(0), flow);
+        prop_assert_eq!(g.net_outflow(1), -flow);
+        // Duality: sum capacities of edges crossing the reachability cut.
+        let side = g.residual_reachable(0);
+        prop_assert!(side[0]);
+        prop_assert!(!side[1], "sink reachable after max flow");
+        let mut cut = Rational::ZERO;
+        for &(a, b, c) in &edges {
+            if side[a] && !side[b] {
+                cut += Rational::from_int(c as i128);
+            }
+        }
+        prop_assert_eq!(flow, cut, "max-flow != min-cut");
+    }
+
+    /// Dinic and push-relabel always agree exactly.
+    #[test]
+    fn algorithms_agree((n, edges) in random_network()) {
+        let mut g1 = build(n, &edges);
+        let mut g2 = build(n, &edges);
+        let f1 = dinic::max_flow(&mut g1, 0, 1);
+        let f2 = push_relabel::max_flow(&mut g2, 0, 1);
+        prop_assert_eq!(f1, f2);
+    }
+
+    /// Warm starts never change the final flow value: preloading part of a
+    /// previously computed max flow and re-augmenting reaches the same
+    /// total.
+    #[test]
+    fn warm_start_reaches_same_value((n, edges) in random_network()) {
+        let mut reference = build(n, &edges);
+        let full = dinic::max_flow(&mut reference, 0, 1);
+        // Halve the reference flow as the preload, then re-augment.
+        let mut warm = build(n, &edges);
+        for e in (0..warm.edge_count()).step_by(2) {
+            let f = reference.flow(e);
+            if f > Rational::ZERO {
+                warm.add_flow(e, f * Rational::new(1, 2));
+            }
+        }
+        dinic::max_flow(&mut warm, 0, 1);
+        prop_assert_eq!(warm.net_outflow(0), full);
+    }
+}

@@ -1,0 +1,130 @@
+//! Balance metrics on allocation vectors.
+//!
+//! These quantify the abstract's claim that AMF "performs significantly
+//! better in balancing resource allocation" than the per-site baseline.
+
+use amf_numeric::KahanSum;
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` ∈ `(0, 1]`; 1 means perfectly
+/// equal. Returns 1.0 for empty or all-zero input (vacuously balanced).
+///
+/// ```
+/// use amf_metrics::jain_index;
+/// assert_eq!(jain_index(&[5.0, 5.0]), 1.0);
+/// assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().copied().collect::<KahanSum>().total();
+    let sq: f64 = values.iter().map(|v| v * v).collect::<KahanSum>().total();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+/// Coefficient of variation `σ / μ` (population σ). 0 means perfectly
+/// equal. Returns 0.0 for empty or zero-mean input.
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().copied().collect::<KahanSum>().total() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = values
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .collect::<KahanSum>()
+        .total()
+        / n;
+    var.sqrt() / mean
+}
+
+/// Ratio of the smallest to the largest value ∈ `[0, 1]`; 1 means
+/// perfectly equal. Returns 1.0 for empty input and 0-max input.
+pub fn min_max_ratio(values: &[f64]) -> f64 {
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    if values.is_empty() || max <= 0.0 {
+        return 1.0;
+    }
+    min / max
+}
+
+/// The smallest value — the quantity max-min fairness maximizes.
+/// Returns 0.0 for empty input.
+pub fn min_share(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+        // One job hogging everything: index -> 1/n.
+        let idx = jain_index(&[9.0, 0.0, 0.0]);
+        assert!((idx - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn cov_basics() {
+        assert_eq!(coefficient_of_variation(&[4.0, 4.0]), 0.0);
+        let cv = coefficient_of_variation(&[2.0, 6.0]);
+        // mean 4, var 4, σ 2 → cv 0.5.
+        assert!((cv - 0.5).abs() < 1e-12);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_max_and_min_share() {
+        assert_eq!(min_max_ratio(&[2.0, 4.0]), 0.5);
+        assert_eq!(min_max_ratio(&[3.0, 3.0]), 1.0);
+        assert_eq!(min_max_ratio(&[]), 1.0);
+        assert_eq!(min_max_ratio(&[0.0, 0.0]), 1.0);
+        assert_eq!(min_share(&[3.0, 1.0, 2.0]), 1.0);
+        assert_eq!(min_share(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn jain_in_unit_interval(values in proptest::collection::vec(0.0f64..100.0, 1..20)) {
+            let idx = jain_index(&values);
+            prop_assert!(idx > 0.0 - 1e-12 && idx <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn jain_invariant_to_scaling(
+            values in proptest::collection::vec(0.1f64..100.0, 1..20),
+            scale in 0.1f64..10.0,
+        ) {
+            let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+            prop_assert!((jain_index(&values) - jain_index(&scaled)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn perfectly_equal_vectors_score_perfectly(
+            v in 0.1f64..100.0,
+            n in 1usize..20,
+        ) {
+            let values = vec![v; n];
+            prop_assert!((jain_index(&values) - 1.0).abs() < 1e-12);
+            prop_assert!(coefficient_of_variation(&values).abs() < 1e-9);
+            prop_assert!((min_max_ratio(&values) - 1.0).abs() < 1e-12);
+        }
+    }
+}

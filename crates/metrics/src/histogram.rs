@@ -1,0 +1,138 @@
+//! Fixed-bin histograms with terminal rendering.
+
+/// An equal-width histogram over `[lo, hi)` with under/overflow buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram over `[lo, hi)` with `nbins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `nbins == 0`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo, "Histogram: empty range");
+        assert!(nbins > 0, "Histogram: zero bins");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, v: f64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((v - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let last = self.bins.len() - 1;
+            self.bins[idx.min(last)] += 1;
+        }
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin counts (in range only).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(underflow, overflow)` counts.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// The `[start, end)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Render as horizontal ASCII bars, `width` characters at the mode.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("        < {:>8.3} | {}\n", self.lo, self.underflow));
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (a, b) = self.bin_range(i);
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{a:>8.3}, {b:>8.3}) | {:<width$} {c}\n",
+                "#".repeat(bar_len),
+                width = width
+            ));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("       >= {:>8.3} | {}\n", self.hi, self.overflow));
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.5, 1.0, 3.0, 9.9, -1.0, 10.0, 25.0]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.outliers(), (1, 2));
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn boundary_values_go_to_the_right_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.0); // first bin (inclusive lo)
+        h.add(0.5); // second bin
+        h.add(1.0); // overflow (exclusive hi)
+        assert_eq!(h.bins(), &[1, 1]);
+        assert_eq!(h.outliers(), (0, 1));
+    }
+
+    #[test]
+    fn renders_bars_proportionally() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.extend([0.1, 0.2, 0.3, 0.4, 1.5]);
+        let s = h.render(8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Mode bin gets the full width; the other gets a quarter.
+        assert!(lines[0].contains("########"));
+        assert!(lines[1].contains("##"));
+        assert!(lines[0].ends_with('4'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_rejected() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! Metrics and reporting substrate for the AMF experiments.
+//!
+//! The paper's evaluation reports (a) how *balanced* the aggregate
+//! allocations are and (b) job completion times. This crate provides:
+//!
+//! * [`fairness`] — Jain's fairness index, coefficient of variation,
+//!   min/max share ratio and related balance metrics on allocation vectors;
+//! * [`stats`] — streaming summaries (Welford mean/variance, min/max),
+//!   percentiles and empirical CDFs;
+//! * [`table`] — fixed-width text tables and CSV emission, so every
+//!   experiment binary prints paper-style rows without duplicating
+//!   formatting code;
+//! * [`plot`] — ASCII charts so the figure-shaped experiments are
+//!   reviewable straight from the terminal.
+
+#![forbid(unsafe_code)]
+// `!(a < b)` is this workspace's idiom for "a >= b under the total order":
+// NaN is rejected at the model boundary (`Scalar::is_valid`), so negated
+// comparisons are well-defined, and they read correctly next to the
+// tolerance helpers (`definitely_lt` etc.). Indexed matrix loops are kept
+// where the row/column structure is the point.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod histogram;
+pub mod plot;
+pub mod stats;
+pub mod table;
+
+pub use fairness::{coefficient_of_variation, jain_index, min_max_ratio, min_share};
+pub use histogram::Histogram;
+pub use plot::Chart;
+pub use stats::{percentile, Cdf, Summary};
+pub use table::{fmt2, fmt4, Table, ToCsv};

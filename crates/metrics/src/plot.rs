@@ -1,0 +1,188 @@
+//! Terminal (ASCII) charts for experiment output.
+//!
+//! The harness reproduces *figures*; a quick visual of each sweep right in
+//! the terminal makes the shape checks (who wins, where curves cross)
+//! reviewable without exporting the CSVs. Deliberately simple: scatter
+//! glyphs on a fixed character grid with min/max axis labels and a legend.
+
+use std::fmt::Write as _;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// An ASCII chart with one or more named `(x, y)` series.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Chart {
+    /// A chart with the default 64×16 plot area.
+    pub fn new(title: impl Into<String>) -> Self {
+        Chart {
+            title: title.into(),
+            width: 64,
+            height: 16,
+            series: Vec::new(),
+        }
+    }
+
+    /// Override the plot-area size (columns × rows), minimum 8×4.
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        self.width = width.max(8);
+        self.height = height.max(4);
+        self
+    }
+
+    /// Add a named series. Points with non-finite coordinates are skipped.
+    pub fn series(&mut self, name: impl Into<String>, points: &[(f64, f64)]) -> &mut Self {
+        let clean: Vec<(f64, f64)> = points
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        self.series.push((name.into(), clean));
+        self
+    }
+
+    /// Render to a string ("(no data)" when every series is empty).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .collect();
+        if all.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+        // Degenerate ranges still need a nonzero span to map onto the grid.
+        if x_hi - x_lo < 1e-12 {
+            x_hi = x_lo + 1.0;
+        }
+        if y_hi - y_lo < 1e-12 {
+            y_hi = y_lo + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (k, (_, pts)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[k % GLYPHS.len()];
+            for &(x, y) in pts {
+                let col = ((x - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round() as usize;
+                let row_from_bottom =
+                    ((y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - row_from_bottom;
+                // Later series overwrite earlier ones on collisions.
+                grid[row][col] = glyph;
+            }
+        }
+
+        let y_label_width = 10;
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{y_hi:>9.3}")
+            } else if r == self.height - 1 {
+                format!("{y_lo:>9.3}")
+            } else {
+                " ".repeat(y_label_width - 1)
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{label} |{line}");
+        }
+        let _ = writeln!(
+            out,
+            "{} +{}",
+            " ".repeat(y_label_width - 1),
+            "-".repeat(self.width)
+        );
+        let x_hi_label = format!("{x_hi:.3}");
+        let _ = writeln!(
+            out,
+            "{} {:<w$}{}",
+            " ".repeat(y_label_width - 1),
+            format!("{x_lo:.3}"),
+            x_hi_label,
+            w = self.width + 1 - x_hi_label.len().min(self.width)
+        );
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(k, (name, _))| format!("{} {}", GLYPHS[k % GLYPHS.len()], name))
+            .collect();
+        let _ = writeln!(out, "  {}", legend.join("   "));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let mut c = Chart::new("demo").size(20, 6);
+        c.series("up", &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        c.series("down", &[(0.0, 2.0), (2.0, 0.0)]);
+        let s = c.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("* up"));
+        assert!(s.contains("o down"));
+        assert!(s.contains("2.000"));
+        assert!(s.contains("0.000"));
+        // Plot area rows + axis + labels + legend + title.
+        assert!(s.lines().count() >= 6 + 3);
+    }
+
+    #[test]
+    fn increasing_series_occupies_increasing_rows() {
+        let mut c = Chart::new("").size(10, 5);
+        c.series("s", &[(0.0, 0.0), (1.0, 1.0)]);
+        let s = c.render();
+        let rows: Vec<&str> = s.lines().collect();
+        // Highest y lands on the first grid row, lowest on the last.
+        assert!(rows[0].contains('*'));
+        assert!(rows[4].contains('*'));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let c = Chart::new("nothing");
+        assert!(c.render().contains("(no data)"));
+        let mut c2 = Chart::new("nan");
+        c2.series("bad", &[(f64::NAN, 1.0)]);
+        assert!(c2.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut c = Chart::new("flat").size(12, 4);
+        c.series("s", &[(0.0, 5.0), (1.0, 5.0)]);
+        let s = c.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn minimum_size_enforced() {
+        let c = Chart::new("tiny").size(1, 1);
+        // No panic; clamped internally.
+        let mut c = c;
+        c.series("s", &[(0.0, 0.0)]);
+        let _ = c.render();
+    }
+}

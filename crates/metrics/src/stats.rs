@@ -1,0 +1,268 @@
+//! Streaming summaries, percentiles and empirical CDFs.
+
+/// Streaming summary: count, mean, variance (Welford), min, max.
+///
+/// Numerically stable for long streams — the experiment harness feeds it
+/// tens of thousands of job completion times.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (+inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+/// The `q`-th percentile (`0 <= q <= 100`) by linear interpolation between
+/// order statistics. Returns 0.0 for empty input.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 100]` or the data contains NaN.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// An empirical CDF: sorted points `(x, F(x))` suitable for plotting
+/// (experiment E2 prints these for the aggregate-allocation distribution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Build from raw observations.
+    ///
+    /// # Panics
+    /// Panics if the data contains NaN.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        let n = sorted.len() as f64;
+        let points = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, (i + 1) as f64 / n))
+            .collect();
+        Cdf { points }
+    }
+
+    /// The `(x, F(x))` points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// `F(x)`: fraction of observations `<= x`.
+    pub fn at(&self, x: f64) -> f64 {
+        match self
+            .points
+            .binary_search_by(|(p, _)| p.partial_cmp(&x).expect("NaN in CDF"))
+        {
+            Ok(mut i) => {
+                // Step to the last equal point.
+                while i + 1 < self.points.len() && self.points[i + 1].0 == x {
+                    i += 1;
+                }
+                self.points[i].1
+            }
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Downsample to at most `k` evenly spaced points (for compact output).
+    pub fn downsample(&self, k: usize) -> Vec<(f64, f64)> {
+        assert!(k >= 2, "downsample needs at least 2 points");
+        if self.points.len() <= k {
+            return self.points.clone();
+        }
+        (0..k)
+            .map(|i| {
+                let idx = i * (self.points.len() - 1) / (k - 1);
+                self.points[idx]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        let empty = Summary::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.variance(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let mut a: Summary = [1.0, 5.0, 2.0].into_iter().collect();
+        let b: Summary = [8.0, 0.5].into_iter().collect();
+        a.merge(&b);
+        let all: Summary = [1.0, 5.0, 2.0, 8.0, 0.5].into_iter().collect();
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        // Merging an empty summary is a no-op.
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut empty = Summary::new();
+        empty.merge(&all);
+        assert_eq!(empty.count(), all.count());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&data, 0.0), 10.0);
+        assert_eq!(percentile(&data, 100.0), 40.0);
+        assert_eq!(percentile(&data, 50.0), 25.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_bad_q() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn cdf_evaluation() {
+        let cdf = Cdf::from_values(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert_eq!(cdf.at(1.0), 0.25);
+        assert_eq!(cdf.at(2.0), 0.75);
+        assert_eq!(cdf.at(3.0), 0.75);
+        assert_eq!(cdf.at(4.0), 1.0);
+        assert_eq!(cdf.at(9.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_downsample_keeps_endpoints() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cdf = Cdf::from_values(&values);
+        let ds = cdf.downsample(5);
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds[0].0, 0.0);
+        assert_eq!(ds[4].0, 99.0);
+        // Short CDFs pass through unchanged.
+        let short = Cdf::from_values(&[1.0, 2.0]);
+        assert_eq!(short.downsample(10).len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Fixed-width text tables and CSV output.
+//!
+//! Every experiment binary prints one table per paper figure/table; the
+//! harness also dumps the same rows as CSV so results can be re-plotted.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table with a header row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "table row width mismatch (expected {})",
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{cell:>w$}", w = w);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// CSV rendering for tables (and anything row-shaped).
+pub trait ToCsv {
+    /// Render as RFC-4180-ish CSV (quotes fields containing separators).
+    fn to_csv(&self) -> String;
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl ToCsv for Table {
+    fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(out, "{}", emit(&self.header));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", emit(row));
+        }
+        out
+    }
+}
+
+/// Format a float with 4 significant decimals (common cell format).
+pub fn fmt4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Format a float with 2 decimals.
+pub fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["alpha", "x"]);
+        t.row(vec!["0.5".into(), "1".into()]);
+        t.row(vec!["1.25".into(), "100".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+        // Lines: title, header, rule, row, row. Right-aligned: the "1"
+        // under "x" lines up with "100".
+        assert!(lines[3].ends_with("  1"), "got {:?}", lines[3]);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_with_escaping() {
+        let mut t = Table::new("", &["name", "note"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "name,note");
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"a,b\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt4(1.0 / 3.0), "0.3333");
+        assert_eq!(fmt2(2.5), "2.50");
+    }
+}

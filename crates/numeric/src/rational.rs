@@ -1,0 +1,411 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The AMF progressive-filling solver repeatedly intersects piecewise-linear
+//! functions whose breakpoints are ratios of sums of input values. With
+//! integer (or small-rational) inputs every intermediate level is a rational
+//! with moderate numerator/denominator, so `i128` gives plenty of headroom
+//! for the instance sizes used in tests. All operations are `checked` and
+//! panic with a descriptive message on overflow rather than silently wrap —
+//! an overflow here would otherwise corrupt a fairness proof.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1` as invariants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Error returned by [`Rational::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The value 0.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The value 1.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num / den`, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "Rational::new: zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        if g == 0 {
+            return Rational::ZERO;
+        }
+        Rational {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Construct from an integer.
+    pub const fn from_int(n: i128) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying, reduced).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive, reduced).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Best-effort conversion to `f64` (exact when representable).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "Rational::recip of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    fn checked_mul_i128(a: i128, b: i128, ctx: &'static str) -> i128 {
+        a.checked_mul(b)
+            .unwrap_or_else(|| panic!("Rational overflow in {ctx}: {a} * {b}"))
+    }
+
+    fn checked_add_i128(a: i128, b: i128, ctx: &'static str) -> i128 {
+        a.checked_add(b)
+            .unwrap_or_else(|| panic!("Rational overflow in {ctx}: {a} + {b}"))
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parse `"a"` or `"a/b"` (integers, optional leading `-`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseRationalError(s.to_owned());
+        match s.split_once('/') {
+            None => s.trim().parse::<i128>().map(Rational::from_int).map_err(|_| bad()),
+            Some((a, b)) => {
+                let num = a.trim().parse::<i128>().map_err(|_| bad())?;
+                let den = b.trim().parse::<i128>().map_err(|_| bad())?;
+                if den == 0 {
+                    return Err(bad());
+                }
+                Ok(Rational::new(num, den))
+            }
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(n: u32) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce cross terms first to delay overflow: with g = gcd(b, d),
+        // a/b + c/d = (a*(d/g) + c*(b/g)) / (b/g * d).
+        let g = gcd(self.den, rhs.den);
+        let lhs_num = Self::checked_mul_i128(self.num, rhs.den / g, "add");
+        let rhs_num = Self::checked_mul_i128(rhs.num, self.den / g, "add");
+        let num = Self::checked_add_i128(lhs_num, rhs_num, "add");
+        let den = Self::checked_mul_i128(self.den / g, rhs.den, "add");
+        Rational::new(num, den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let (an, ad) = (self.num / g1, self.den / g2);
+        let (bn, bd) = (rhs.num / g2, rhs.den / g1);
+        let num = Self::checked_mul_i128(an, bn, "mul");
+        let den = Self::checked_mul_i128(ad, bd, "mul");
+        Rational::new(num, den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b == a * b^-1 by definition
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b ? c/d via a*d ? c*b with positive denominators.
+        // Cross-reduce to delay overflow, then use checked arithmetic.
+        let g = gcd(self.den, other.den);
+        let lhs = Self::checked_mul_i128(self.num, other.den / g, "cmp");
+        let rhs = Self::checked_mul_i128(other.num, self.den / g, "cmp");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn construction_reduces_and_normalizes_sign() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(1, -2).numer(), -1);
+        assert_eq!(r(1, -2).denom(), 2);
+        assert_eq!(r(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+    }
+
+    #[test]
+    fn ordering_is_total_and_correct() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(0, 1));
+        assert!(r(7, 3) > r(2, 1));
+        assert_eq!(r(4, 6).cmp(&r(2, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn parsing_round_trips() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), r(3, 4));
+        assert_eq!("-7".parse::<Rational>().unwrap(), r(-7, 1));
+        assert_eq!(" 6 / 8 ".parse::<Rational>().unwrap(), r(3, 4));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("abc".parse::<Rational>().is_err());
+        let v = r(-13, 7);
+        assert_eq!(v.to_string().parse::<Rational>().unwrap(), v);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(3, 4).to_string(), "3/4");
+        assert_eq!(r(-3, 4).to_string(), "-3/4");
+    }
+
+    #[test]
+    fn recip_and_integer_checks() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert!(r(8, 4).is_integer());
+        assert!(!r(8, 5).is_integer());
+        assert!(Rational::ZERO.is_zero());
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Rational = (1..=4).map(|k| r(1, k)).sum();
+        assert_eq!(total, r(25, 12));
+    }
+
+    fn small_rational() -> impl Strategy<Value = Rational> {
+        (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn add_associates(a in small_rational(), b in small_rational(), c in small_rational()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn mul_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn sub_is_add_neg(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a - b, a + (-b));
+        }
+
+        #[test]
+        fn div_inverts_mul(a in small_rational(), b in small_rational()) {
+            prop_assume!(!b.is_zero());
+            prop_assert_eq!((a / b) * b, a);
+        }
+
+        #[test]
+        fn order_agrees_with_f64(a in small_rational(), b in small_rational()) {
+            // On small inputs the f64 images are exact enough to agree.
+            let cf = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+            if cf != Ordering::Equal {
+                prop_assert_eq!(a.cmp(&b), cf);
+            }
+        }
+
+        #[test]
+        fn invariants_hold(a in small_rational(), b in small_rational()) {
+            let c = a + b;
+            prop_assert!(c.denom() > 0);
+            prop_assert_eq!(super::gcd(c.numer(), c.denom()), if c.is_zero() { c.denom() } else { super::gcd(c.numer(), c.denom()) });
+            // Reduced: gcd(|num|, den) == 1 unless num == 0.
+            if !c.is_zero() {
+                prop_assert_eq!(super::gcd(c.numer(), c.denom()), 1);
+            }
+        }
+    }
+}

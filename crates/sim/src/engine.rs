@@ -1,0 +1,755 @@
+//! The fluid discrete-event engine.
+
+use crate::report::{JobOutcome, SimReport};
+use crate::split::{balanced_progress_split, SplitStrategy};
+use amf_core::{AllocationPolicy, Instance};
+use amf_workload::trace::Trace;
+
+/// Work below this absolute threshold counts as finished (the trace
+/// generator produces work in the 1..1e5 range; 1e-7 is far below one
+/// scheduling quantum of any policy).
+const WORK_EPS: f64 = 1e-7;
+
+/// Rates below this are treated as zero when predicting completions.
+const RATE_EPS: f64 = 1e-12;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimConfig {
+    /// How aggregate allocations are split across sites.
+    pub split: SplitStrategy,
+    /// Reallocate only every `quantum` time units instead of at every
+    /// event (`None` = event-driven, the idealized fluid model). Real
+    /// schedulers run in rounds; between rounds, capacity freed by
+    /// completed portions idles. Larger quanta trade allocation staleness
+    /// for scheduler overhead (experiment E12).
+    pub reallocation_quantum: Option<f64>,
+}
+
+/// A scheduled change to a site's capacity — failure injection (capacity
+/// loss) or recovery/expansion (capacity gain). Applied at `time`; the
+/// policy reallocates immediately after.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityEvent {
+    /// When the change takes effect.
+    pub time: f64,
+    /// The affected site.
+    pub site: usize,
+    /// The site's capacity from `time` on (>= 0).
+    pub capacity: f64,
+}
+
+/// One in-flight job.
+struct ActiveJob {
+    /// Index into the trace.
+    idx: usize,
+    /// Remaining work per site.
+    remaining: Vec<f64>,
+    /// Current demand caps (zeroed where the portion finished).
+    demand: Vec<f64>,
+}
+
+impl ActiveJob {
+    fn finished(&self) -> bool {
+        self.remaining.iter().all(|&r| r <= 0.0)
+    }
+}
+
+/// Simulate `trace` under a static `policy`. Jobs arrive per the trace,
+/// receive rates from the policy at every scheduling event, and complete
+/// when all their per-site portions are done.
+///
+/// ```
+/// use amf_sim::{simulate, SimConfig};
+/// use amf_core::AmfSolver;
+/// use amf_workload::trace::{Trace, TraceJob};
+/// // One job: 10 task-seconds at a 5-slot site, up to 2 slots at a time.
+/// let trace = Trace {
+///     capacities: vec![5.0],
+///     jobs: vec![TraceJob { arrival: 0.0, work: vec![10.0], demand: vec![2.0] }],
+/// };
+/// let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+/// assert!((report.makespan - 5.0).abs() < 1e-9);
+/// ```
+///
+/// The engine is deterministic: same trace + policy + config → same report.
+///
+/// # Panics
+/// Panics if the trace is malformed (ragged rows, negative work, or work at
+/// a site with zero demand — such a portion could never run).
+pub fn simulate(
+    trace: &Trace,
+    policy: &dyn AllocationPolicy<f64>,
+    config: &SimConfig,
+) -> SimReport {
+    simulate_with_capacity_events(trace, policy, config, &[])
+}
+
+/// [`simulate`] with failure injection: site capacities change at the
+/// given [`CapacityEvent`]s (sorted internally by time).
+///
+/// # Panics
+/// Panics on malformed traces or events (site out of range, negative
+/// capacity, non-finite time).
+pub fn simulate_with_capacity_events(
+    trace: &Trace,
+    policy: &dyn AllocationPolicy<f64>,
+    config: &SimConfig,
+    events: &[CapacityEvent],
+) -> SimReport {
+    let split = config.split;
+    run_engine(
+        trace,
+        events,
+        config.reallocation_quantum,
+        &|inst, remaining| {
+            let alloc = policy.allocate(inst);
+            match split {
+                SplitStrategy::PolicySplit => alloc.split().to_vec(),
+                SplitStrategy::BalancedProgress { repair_rounds } => balanced_progress_split(
+                    inst.capacities(),
+                    inst.demands(),
+                    alloc.aggregates(),
+                    remaining,
+                    repair_rounds,
+                ),
+            }
+        },
+    )
+}
+
+/// Simulate `trace` under a work-aware [`DynamicPolicy`](crate::dynamic::DynamicPolicy) — the policy's
+/// own split is used as the rate matrix (dynamic policies choose their
+/// splits deliberately).
+pub fn simulate_dynamic(trace: &Trace, policy: &dyn crate::dynamic::DynamicPolicy) -> SimReport {
+    run_engine(trace, &[], None, &|inst, remaining| {
+        policy.allocate_dynamic(inst, remaining).split().to_vec()
+    })
+}
+
+/// Rate callback: `(instance, remaining_work) -> rate matrix`.
+type RateFn<'a> = &'a dyn Fn(&Instance<f64>, &[Vec<f64>]) -> Vec<Vec<f64>>;
+
+/// The shared fluid event loop. `rate_fn(instance, remaining_work)` returns
+/// the rate matrix for the current instant; `capacity_events` inject site
+/// capacity changes.
+fn run_engine(
+    trace: &Trace,
+    capacity_events: &[CapacityEvent],
+    quantum: Option<f64>,
+    rate_fn: RateFn<'_>,
+) -> SimReport {
+    assert!(
+        quantum.is_none_or(|q| q > 0.0 && q.is_finite()),
+        "reallocation quantum must be positive"
+    );
+    let m = trace.capacities.len();
+    for (i, job) in trace.jobs.iter().enumerate() {
+        assert_eq!(job.work.len(), m, "job {i}: work row length != site count");
+        assert_eq!(job.demand.len(), m, "job {i}: demand row length != site count");
+        for s in 0..m {
+            assert!(job.work[s] >= 0.0 && job.demand[s] >= 0.0, "job {i}: negative entry");
+            assert!(
+                job.work[s] <= 0.0 || job.demand[s] > 0.0,
+                "job {i}: work at site {s} but zero demand — it could never run"
+            );
+        }
+    }
+    for (i, ev) in capacity_events.iter().enumerate() {
+        assert!(ev.site < m, "capacity event {i}: site out of range");
+        assert!(
+            ev.capacity >= 0.0 && ev.time.is_finite(),
+            "capacity event {i}: invalid time or capacity"
+        );
+    }
+    let mut events: Vec<CapacityEvent> = capacity_events.to_vec();
+    events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("NaN event time"));
+    let mut next_event = 0usize;
+    let mut capacities = trace.capacities.clone();
+
+    // Arrivals sorted by time (stable on ties → trace order).
+    let mut order: Vec<usize> = (0..trace.jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        trace.jobs[a]
+            .arrival
+            .partial_cmp(&trace.jobs[b].arrival)
+            .expect("NaN arrival time")
+    });
+    let mut next_arrival = 0usize;
+
+    let mut outcomes: Vec<JobOutcome> = trace
+        .jobs
+        .iter()
+        .map(|j| JobOutcome {
+            arrival: j.arrival,
+            completion: None,
+        })
+        .collect();
+
+    let mut active: Vec<ActiveJob> = Vec::new();
+    let mut t = 0.0f64;
+    let mut used_capacity_time = 0.0f64; // ∫ (Σ rates) dt
+    let mut reallocations = 0usize;
+    let mut makespan = 0.0f64;
+    // Quantized mode: rates cached per trace index until the next round.
+    let mut cached_rates: std::collections::HashMap<usize, Vec<f64>> =
+        std::collections::HashMap::new();
+    let mut next_round = 0.0f64;
+
+    loop {
+        // Apply capacity events that are due.
+        while next_event < events.len() && events[next_event].time <= t {
+            let ev = events[next_event];
+            capacities[ev.site] = ev.capacity;
+            next_event += 1;
+        }
+
+        // Admit everything that has arrived by now.
+        while next_arrival < order.len() && trace.jobs[order[next_arrival]].arrival <= t {
+            let idx = order[next_arrival];
+            let job = &trace.jobs[idx];
+            let mut aj = ActiveJob {
+                idx,
+                remaining: job.work.clone(),
+                demand: job.demand.clone(),
+            };
+            // Zero-work portions carry no demand.
+            for s in 0..m {
+                if aj.remaining[s] <= 0.0 {
+                    aj.demand[s] = 0.0;
+                }
+            }
+            if aj.finished() {
+                // A zero-work job completes instantly on arrival.
+                outcomes[idx].completion = Some(t.max(job.arrival));
+            } else {
+                active.push(aj);
+            }
+            next_arrival += 1;
+        }
+
+        if active.is_empty() {
+            match order.get(next_arrival) {
+                Some(&idx) => {
+                    t = trace.jobs[idx].arrival;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // Jobs whose only remaining work sits at zero-capacity sites are
+        // stuck until a capacity event restores service; if no such event
+        // is pending either, the starvation check below catches it.
+
+        // Allocate — every event in fluid mode, once per round in
+        // quantized mode (jobs arriving mid-round idle until the next).
+        let recompute = match quantum {
+            None => true,
+            Some(_) => t + 1e-12 >= next_round,
+        };
+        let rates: Vec<Vec<f64>> = if recompute {
+            let inst = Instance::new(
+                capacities.clone(),
+                active.iter().map(|a| a.demand.clone()).collect(),
+            )
+            .expect("active jobs always form a valid instance");
+            let remaining: Vec<Vec<f64>> =
+                active.iter().map(|a| a.remaining.clone()).collect();
+            let fresh = rate_fn(&inst, &remaining);
+            debug_assert_eq!(fresh.len(), active.len(), "rate matrix row count");
+            reallocations += 1;
+            if let Some(q) = quantum {
+                next_round = t + q;
+                cached_rates.clear();
+                for (a, row) in active.iter().zip(&fresh) {
+                    cached_rates.insert(a.idx, row.clone());
+                }
+            }
+            fresh
+        } else {
+            active
+                .iter()
+                .map(|a| {
+                    cached_rates
+                        .get(&a.idx)
+                        .cloned()
+                        .unwrap_or_else(|| vec![0.0; m])
+                })
+                .collect()
+        };
+
+        // Next portion completion under these rates.
+        let mut dt_complete = f64::INFINITY;
+        for (a, rate_row) in active.iter().zip(&rates) {
+            for s in 0..m {
+                if a.remaining[s] > 0.0 && rate_row[s] > RATE_EPS {
+                    dt_complete = dt_complete.min(a.remaining[s] / rate_row[s]);
+                }
+            }
+        }
+        let dt_arrival = order
+            .get(next_arrival)
+            .map(|&idx| trace.jobs[idx].arrival - t)
+            .unwrap_or(f64::INFINITY);
+        let dt_event = events
+            .get(next_event)
+            .map(|ev| ev.time - t)
+            .unwrap_or(f64::INFINITY);
+        let dt_round = match quantum {
+            Some(_) => (next_round - t).max(0.0),
+            None => f64::INFINITY,
+        };
+
+        let dt = dt_complete.min(dt_arrival).min(dt_event).min(dt_round);
+        if !dt.is_finite() {
+            // No progress possible and nothing will arrive: the remaining
+            // jobs are starved (degenerate input, e.g. zero capacity).
+            break;
+        }
+
+        // Advance.
+        let consumed: f64 = active
+            .iter()
+            .zip(&rates)
+            .map(|(a, row)| {
+                (0..m)
+                    .map(|s| if a.remaining[s] > 0.0 { row[s] } else { 0.0 })
+                    .sum::<f64>()
+            })
+            .sum();
+        used_capacity_time += consumed * dt;
+        t += dt;
+
+        for (a, rate_row) in active.iter_mut().zip(&rates) {
+            for s in 0..m {
+                if a.remaining[s] > 0.0 {
+                    a.remaining[s] -= rate_row[s] * dt;
+                    if a.remaining[s] <= WORK_EPS {
+                        a.remaining[s] = 0.0;
+                        a.demand[s] = 0.0;
+                    }
+                }
+            }
+        }
+
+        // Retire finished jobs.
+        let mut k = 0;
+        while k < active.len() {
+            if active[k].finished() {
+                outcomes[active[k].idx].completion = Some(t);
+                makespan = makespan.max(t);
+                active.swap_remove(k);
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    let available = capacity_integral(&trace.capacities, &events, makespan);
+    let mean_utilization = if available > 0.0 {
+        used_capacity_time / available
+    } else {
+        0.0
+    };
+
+    SimReport {
+        jobs: outcomes,
+        makespan,
+        mean_utilization,
+        reallocations,
+    }
+}
+
+/// ∫ total capacity dt over `[0, horizon]` given the initial capacities
+/// and the (sorted) capacity events.
+fn capacity_integral(initial: &[f64], events: &[CapacityEvent], horizon: f64) -> f64 {
+    let mut caps = initial.to_vec();
+    let mut total: f64 = caps.iter().sum();
+    let mut t = 0.0;
+    let mut integral = 0.0;
+    for ev in events {
+        let at = ev.time.clamp(0.0, horizon);
+        integral += total * (at - t).max(0.0);
+        t = t.max(at);
+        caps[ev.site] = ev.capacity;
+        total = caps.iter().sum();
+        if t >= horizon {
+            break;
+        }
+    }
+    integral += total * (horizon - t).max(0.0);
+    integral
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_core::{AmfSolver, PerSiteMaxMin};
+    use amf_workload::trace::{Trace, TraceJob};
+
+    fn batch_trace(capacities: Vec<f64>, jobs: Vec<(Vec<f64>, Vec<f64>)>) -> Trace {
+        Trace {
+            capacities,
+            jobs: jobs
+                .into_iter()
+                .map(|(work, demand)| TraceJob {
+                    arrival: 0.0,
+                    work,
+                    demand,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_job_runs_at_demand_rate() {
+        // Work 10 at one site, demand 2, capacity 5 → runs at rate 2,
+        // finishes at t = 5.
+        let trace = batch_trace(vec![5.0], vec![(vec![10.0], vec![2.0])]);
+        let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        assert!(report.all_finished());
+        assert!((report.jobs[0].completion.unwrap() - 5.0).abs() < 1e-6);
+        assert!((report.makespan - 5.0).abs() < 1e-6);
+        // Utilization: 2 of 5 slots busy the whole time.
+        assert!((report.mean_utilization - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_jobs_share_then_speed_up() {
+        // Two identical jobs, work 10 each, demand 10, capacity 10:
+        // share at rate 5 → both finish at t=2... they finish together, so
+        // no speed-up phase: JCT = 2 for both.
+        let trace = batch_trace(
+            vec![10.0],
+            vec![(vec![10.0], vec![10.0]), (vec![10.0], vec![10.0])],
+        );
+        let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        for j in &report.jobs {
+            assert!((j.completion.unwrap() - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn short_job_departure_frees_capacity() {
+        // Job 0: work 5, job 1: work 20; both demand 10 on one 10-slot
+        // site. Phase 1: rates 5/5 until t=1 (job 0 done). Phase 2: job 1
+        // runs at 10: remaining 15 → 1.5 more. Makespan 2.5.
+        let trace = batch_trace(
+            vec![10.0],
+            vec![(vec![5.0], vec![10.0]), (vec![20.0], vec![10.0])],
+        );
+        let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        assert!((report.jobs[0].completion.unwrap() - 1.0).abs() < 1e-6);
+        assert!((report.jobs[1].completion.unwrap() - 2.5).abs() < 1e-6);
+        assert!(report.reallocations >= 2);
+    }
+
+    #[test]
+    fn arrivals_trigger_reallocation() {
+        // Job 0 arrives at 0 with work 10, demand 10, capacity 10.
+        // Job 1 arrives at 0.5 (job 0 has 5 work left): they share at 5
+        // each. Job 0 finishes at 0.5 + 1 = 1.5; job 1 has done 5 of its
+        // 10 by then and runs at 10 → finishes at 1.5 + 0.5 = 2.0.
+        let trace = Trace {
+            capacities: vec![10.0],
+            jobs: vec![
+                TraceJob {
+                    arrival: 0.0,
+                    work: vec![10.0],
+                    demand: vec![10.0],
+                },
+                TraceJob {
+                    arrival: 0.5,
+                    work: vec![10.0],
+                    demand: vec![10.0],
+                },
+            ],
+        };
+        let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        assert!((report.jobs[0].completion.unwrap() - 1.5).abs() < 1e-6);
+        assert!((report.jobs[1].completion.unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_site_job_finishes_when_slowest_portion_does() {
+        // Work (8, 2), demand (4, 4), capacities (4, 4), alone: runs at
+        // demand everywhere: portions done at 2 and 0.5 → JCT 2.
+        let trace = batch_trace(
+            vec![4.0, 4.0],
+            vec![(vec![8.0, 2.0], vec![4.0, 4.0])],
+        );
+        let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        assert!((report.jobs[0].completion.unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn balanced_split_improves_skewed_jct() {
+        // Two jobs on two sites; job 0's work is heavily skewed to site 0.
+        // With the JCT add-on, job 0's aggregate is steered toward site 0
+        // and it finishes no later than under the arbitrary policy split.
+        let trace = batch_trace(
+            vec![10.0, 10.0],
+            vec![
+                (vec![18.0, 2.0], vec![10.0, 10.0]),
+                (vec![10.0, 10.0], vec![10.0, 10.0]),
+            ],
+        );
+        let plain = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        let balanced = simulate(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig {
+                split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                ..SimConfig::default()
+            },
+        );
+        assert!(balanced.all_finished());
+        assert!(balanced.mean_jct() <= plain.mean_jct() + 1e-6);
+    }
+
+    #[test]
+    fn psmf_and_amf_agree_on_symmetric_input() {
+        let trace = batch_trace(
+            vec![6.0],
+            vec![(vec![6.0], vec![6.0]), (vec![6.0], vec![6.0])],
+        );
+        let a = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        let p = simulate(&trace, &PerSiteMaxMin, &SimConfig::default());
+        assert!((a.mean_jct() - p.mean_jct()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_work_job_completes_instantly() {
+        let trace = batch_trace(vec![5.0], vec![(vec![0.0], vec![0.0])]);
+        let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        assert_eq!(report.jobs[0].completion, Some(0.0));
+        assert_eq!(report.makespan, 0.0);
+    }
+
+    #[test]
+    fn starved_jobs_are_reported_unfinished() {
+        // Zero capacity: the job can never run.
+        let trace = batch_trace(vec![0.0], vec![(vec![5.0], vec![1.0])]);
+        let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        assert!(!report.all_finished());
+        assert_eq!(report.jobs[0].completion, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero demand")]
+    fn work_without_demand_rejected() {
+        let trace = batch_trace(vec![5.0], vec![(vec![5.0], vec![0.0])]);
+        simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+    }
+
+    #[test]
+    fn capacity_loss_slows_the_job() {
+        // Work 20, demand 10, capacity 10; at t=1 the site degrades to 5.
+        // Phase 1: rate 10 for 1s (10 done); phase 2: rate 5 for 2s.
+        let trace = batch_trace(vec![10.0], vec![(vec![20.0], vec![10.0])]);
+        let events = [CapacityEvent {
+            time: 1.0,
+            site: 0,
+            capacity: 5.0,
+        }];
+        let report = simulate_with_capacity_events(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig::default(),
+            &events,
+        );
+        assert!(report.all_finished());
+        assert!((report.makespan - 3.0).abs() < 1e-6, "makespan {}", report.makespan);
+        // Utilization against the time-varying capacity: 20 work over
+        // ∫cap = 10*1 + 5*2 = 20 → 100%.
+        assert!((report.mean_utilization - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_outage_then_recovery() {
+        // The site fails completely at t=0.5 and recovers at t=2.
+        let trace = batch_trace(vec![4.0], vec![(vec![4.0], vec![4.0])]);
+        let events = [
+            CapacityEvent { time: 0.5, site: 0, capacity: 0.0 },
+            CapacityEvent { time: 2.0, site: 0, capacity: 4.0 },
+        ];
+        let report = simulate_with_capacity_events(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig::default(),
+            &events,
+        );
+        assert!(report.all_finished());
+        // 2 work done by 0.5; outage until 2.0; remaining 2 work → 0.5s.
+        assert!((report.makespan - 2.5).abs() < 1e-6, "makespan {}", report.makespan);
+    }
+
+    #[test]
+    fn permanent_outage_starves() {
+        let trace = batch_trace(vec![4.0], vec![(vec![8.0], vec![4.0])]);
+        let events = [CapacityEvent { time: 1.0, site: 0, capacity: 0.0 }];
+        let report = simulate_with_capacity_events(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig::default(),
+            &events,
+        );
+        assert!(!report.all_finished());
+    }
+
+    #[test]
+    fn degraded_site_slows_only_its_portion() {
+        // Work is site-pinned: when site 0 degrades to 1 slot at t=1, the
+        // job's site-0 portion crawls while site 1 finishes on time.
+        let trace = batch_trace(
+            vec![5.0, 5.0],
+            vec![(vec![10.0, 10.0], vec![5.0, 5.0])],
+        );
+        let events = [CapacityEvent { time: 1.0, site: 0, capacity: 1.0 }];
+        let report = simulate_with_capacity_events(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig::default(),
+            &events,
+        );
+        assert!(report.all_finished());
+        // Phase 1 (t<1): rates (5,5), 5 done each. Site 1 portion done at
+        // t=2; site 0's remaining 5 at rate 1 → done at t=6.
+        assert!((report.makespan - 6.0).abs() < 1e-6, "makespan {}", report.makespan);
+    }
+
+    #[test]
+    fn total_site_loss_strands_pinned_work() {
+        // A permanent total outage strands the work pinned there: the
+        // model has no re-replication, so the job reports unfinished.
+        let trace = batch_trace(
+            vec![5.0, 5.0],
+            vec![(vec![10.0, 10.0], vec![5.0, 5.0])],
+        );
+        let events = [CapacityEvent { time: 1.0, site: 0, capacity: 0.0 }];
+        let report = simulate_with_capacity_events(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig::default(),
+            &events,
+        );
+        assert!(!report.all_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "site out of range")]
+    fn bad_event_rejected() {
+        let trace = batch_trace(vec![1.0], vec![(vec![1.0], vec![1.0])]);
+        let events = [CapacityEvent { time: 0.0, site: 9, capacity: 1.0 }];
+        simulate_with_capacity_events(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig::default(),
+            &events,
+        );
+    }
+
+    #[test]
+    fn quantized_mode_matches_fluid_when_quantum_is_tiny() {
+        let trace = batch_trace(
+            vec![10.0],
+            vec![(vec![5.0], vec![10.0]), (vec![20.0], vec![10.0])],
+        );
+        let fluid = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        let quantized = simulate(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig {
+                reallocation_quantum: Some(0.01),
+                ..SimConfig::default()
+            },
+        );
+        assert!(quantized.all_finished());
+        assert!((quantized.mean_jct() - fluid.mean_jct()).abs() < 0.05);
+        assert!(quantized.reallocations > fluid.reallocations);
+    }
+
+    #[test]
+    fn coarse_quantum_wastes_freed_capacity() {
+        // Job 0 finishes at t=1 but the next round is only at t=5, so job
+        // 1 keeps its old half-rate until then: fluid makespan 2.5, with
+        // quantum 5 it is 1 + 15/5 = ... phase1: rates 5/5; job0 done at
+        // t=1; job1 ran 5 of 20 → stays at rate 5 until t=5 (25 done? no:
+        // remaining 15 at rate 5 → finishes at t=4, still inside the
+        // stale round). Makespan 4.0 > fluid 2.5.
+        let trace = batch_trace(
+            vec![10.0],
+            vec![(vec![5.0], vec![10.0]), (vec![20.0], vec![10.0])],
+        );
+        let fluid = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        assert!((fluid.makespan - 2.5).abs() < 1e-6);
+        let coarse = simulate(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig {
+                reallocation_quantum: Some(5.0),
+                ..SimConfig::default()
+            },
+        );
+        assert!(coarse.all_finished());
+        assert!((coarse.makespan - 4.0).abs() < 1e-6, "makespan {}", coarse.makespan);
+    }
+
+    #[test]
+    fn mid_round_arrival_waits_for_next_round() {
+        // Quantum 2: the job arriving at t=1 gets no rate until t=2.
+        let trace = Trace {
+            capacities: vec![4.0],
+            jobs: vec![
+                TraceJob {
+                    arrival: 0.0,
+                    work: vec![100.0],
+                    demand: vec![4.0],
+                },
+                TraceJob {
+                    arrival: 1.0,
+                    work: vec![2.0],
+                    demand: vec![4.0],
+                },
+            ],
+        };
+        let report = simulate(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig {
+                reallocation_quantum: Some(2.0),
+                ..SimConfig::default()
+            },
+        );
+        // Job 1 starts at t=2 at rate 2 → finishes at t=3 (JCT 2), versus
+        // 1 + 2/2 = 2 → JCT 1... under event-driven it would share from
+        // t=1. Either way it cannot finish before t=2 here.
+        assert!(report.jobs[1].completion.unwrap() >= 2.0 + 0.5 - 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_rejected() {
+        let trace = batch_trace(vec![1.0], vec![(vec![1.0], vec![1.0])]);
+        simulate(
+            &trace,
+            &AmfSolver::new(),
+            &SimConfig {
+                reallocation_quantum: Some(0.0),
+                ..SimConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = Trace {
+            capacities: vec![1.0],
+            jobs: vec![],
+        };
+        let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        assert_eq!(report.jobs.len(), 0);
+        assert_eq!(report.makespan, 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulation output: per-job outcomes and system-level statistics.
+
+/// Outcome of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobOutcome {
+    /// Arrival time.
+    pub arrival: f64,
+    /// Completion time, or `None` if the job never finished (starved — can
+    /// only happen on degenerate inputs like zero-capacity sites).
+    pub completion: Option<f64>,
+}
+
+impl JobOutcome {
+    /// Job completion time (sojourn): `completion - arrival`.
+    pub fn jct(&self) -> Option<f64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-job outcomes, indexed like the input trace.
+    pub jobs: Vec<JobOutcome>,
+    /// Time of the last completion (0 for an empty trace).
+    pub makespan: f64,
+    /// Time-averaged fraction of total capacity in use until `makespan`.
+    pub mean_utilization: f64,
+    /// Number of allocation recomputations (scheduling events).
+    pub reallocations: usize,
+}
+
+impl SimReport {
+    /// True iff every job completed.
+    pub fn all_finished(&self) -> bool {
+        self.jobs.iter().all(|j| j.completion.is_some())
+    }
+
+    /// Completion times of finished jobs.
+    pub fn jcts(&self) -> Vec<f64> {
+        self.jobs.iter().filter_map(JobOutcome::jct).collect()
+    }
+
+    /// Mean JCT over finished jobs (0 when none finished).
+    pub fn mean_jct(&self) -> f64 {
+        let jcts = self.jcts();
+        if jcts.is_empty() {
+            0.0
+        } else {
+            jcts.iter().sum::<f64>() / jcts.len() as f64
+        }
+    }
+
+    /// Maximum JCT over finished jobs (0 when none finished).
+    pub fn max_jct(&self) -> f64 {
+        self.jcts().into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregation() {
+        let report = SimReport {
+            jobs: vec![
+                JobOutcome {
+                    arrival: 0.0,
+                    completion: Some(4.0),
+                },
+                JobOutcome {
+                    arrival: 1.0,
+                    completion: Some(3.0),
+                },
+            ],
+            makespan: 4.0,
+            mean_utilization: 0.5,
+            reallocations: 3,
+        };
+        assert!(report.all_finished());
+        assert_eq!(report.jcts(), vec![4.0, 2.0]);
+        assert_eq!(report.mean_jct(), 3.0);
+        assert_eq!(report.max_jct(), 4.0);
+    }
+
+    #[test]
+    fn unfinished_jobs_are_excluded() {
+        let report = SimReport {
+            jobs: vec![
+                JobOutcome {
+                    arrival: 0.0,
+                    completion: None,
+                },
+                JobOutcome {
+                    arrival: 0.0,
+                    completion: Some(2.0),
+                },
+            ],
+            makespan: 2.0,
+            mean_utilization: 1.0,
+            reallocations: 1,
+        };
+        assert!(!report.all_finished());
+        assert_eq!(report.jcts(), vec![2.0]);
+        assert_eq!(report.mean_jct(), 2.0);
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = SimReport {
+            jobs: vec![],
+            makespan: 0.0,
+            mean_utilization: 0.0,
+            reallocations: 0,
+        };
+        assert!(report.all_finished());
+        assert_eq!(report.mean_jct(), 0.0);
+        assert_eq!(report.max_jct(), 0.0);
+    }
+}

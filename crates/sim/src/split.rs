@@ -1,0 +1,281 @@
+//! The JCT add-on: per-site split optimization under fixed aggregates.
+//!
+//! An AMF allocation pins each job's **aggregate** `A_j`, but the per-site
+//! split realizing it is generally not unique. A job's completion time is
+//! `max_s r[j][s] / x[j][s]` (its slowest portion), so for a fixed
+//! aggregate the best split puts rate proportional to remaining work —
+//! then all portions finish simultaneously. The paper proposes an add-on
+//! that optimizes completion times under AMF; its exact procedure is
+//! unavailable (abstract-only source, see DESIGN.md), so this module
+//! implements the natural reconstruction with the same contract: **the
+//! fair aggregates are preserved exactly**, only the split changes.
+//!
+//! Procedure ([`balanced_progress_split`]):
+//! 1. *Ideal split*: fill each job's `A_j` over its sites with rates
+//!    proportional to remaining work, respecting demand caps (a weighted
+//!    water-fill with the remaining work as weights).
+//! 2. *Repair*: scale down over-subscribed sites and re-fill each job's
+//!    deficit onto sites with headroom, for a fixed number of rounds
+//!    (Sinkhorn-style; the round count is an ablation knob).
+//! 3. *Exactness*: load the (feasible) repaired split into the allocation
+//!    network and augment — max-flow restores every aggregate to exactly
+//!    `A_j`, which is possible because the aggregates came from a feasible
+//!    allocation.
+
+use amf_core::water_fill_weighted;
+use amf_flow::AllocationNetwork;
+
+/// How the engine splits aggregate allocations across sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum SplitStrategy {
+    /// Use the split the policy returned (AMF's is an arbitrary max-flow
+    /// decomposition; PSMF's is already site-determined).
+    #[default]
+    PolicySplit,
+    /// The JCT add-on: re-split each job's aggregate proportional to its
+    /// remaining work per site.
+    BalancedProgress {
+        /// Repair rounds for site over-subscription (2–8 is plenty; the
+        /// ablation bench sweeps this).
+        repair_rounds: usize,
+    },
+}
+
+
+/// Compute a work-proportional split of the given aggregates.
+///
+/// * `capacities[s]` — site capacities;
+/// * `demands[j][s]` — current demand caps (0 where the portion is done);
+/// * `aggregates[j]` — the fair aggregate to preserve for each job;
+/// * `remaining[j][s]` — remaining work per site;
+/// * `repair_rounds` — over-subscription repair iterations.
+///
+/// Returns a feasible split whose row sums equal `aggregates` (up to f64
+/// tolerance).
+///
+/// # Panics
+/// Panics if the aggregates are infeasible for `(capacities, demands)` —
+/// they must come from a feasible allocation.
+pub fn balanced_progress_split(
+    capacities: &[f64],
+    demands: &[Vec<f64>],
+    aggregates: &[f64],
+    remaining: &[Vec<f64>],
+    repair_rounds: usize,
+) -> Vec<Vec<f64>> {
+    let n = demands.len();
+    let m = capacities.len();
+    assert_eq!(aggregates.len(), n, "aggregate count mismatch");
+    assert_eq!(remaining.len(), n, "remaining-work count mismatch");
+
+    // Step 1: per-job ideal split — weighted water-fill of A_j over sites,
+    // weight = remaining work (so x ∝ r until a demand cap binds).
+    let mut x: Vec<Vec<f64>> = vec![vec![0.0; m]; n];
+    for j in 0..n {
+        fill_job(&mut x[j], aggregates[j], &demands[j], &remaining[j]);
+    }
+
+    // Step 2: repair rounds — scale over-subscribed sites, re-fill deficits.
+    for _ in 0..repair_rounds {
+        let mut oversubscribed = false;
+        for s in 0..m {
+            let load: f64 = x.iter().map(|row| row[s]).sum();
+            if load > capacities[s] && load > 0.0 {
+                let scale = capacities[s] / load;
+                for row in x.iter_mut() {
+                    row[s] *= scale;
+                }
+                oversubscribed = true;
+            }
+        }
+        if !oversubscribed {
+            break;
+        }
+        // Re-fill each job's deficit onto residual caps, still weighted by
+        // remaining work.
+        for j in 0..n {
+            let got: f64 = x[j].iter().sum();
+            let deficit = aggregates[j] - got;
+            if deficit > 1e-12 {
+                let residual_caps: Vec<f64> = (0..m)
+                    .map(|s| (demands[j][s] - x[j][s]).max(0.0))
+                    .collect();
+                let mut extra = vec![0.0; m];
+                fill_job(&mut extra, deficit.min(sum_of(&residual_caps)), &residual_caps, &remaining[j]);
+                for s in 0..m {
+                    x[j][s] += extra[s];
+                }
+            }
+        }
+    }
+
+    // Make strictly feasible before preloading (repair may have re-filled
+    // past a capacity on the last round).
+    for s in 0..m {
+        let load: f64 = x.iter().map(|row| row[s]).sum();
+        if load > capacities[s] && load > 0.0 {
+            let scale = capacities[s] / load;
+            for row in x.iter_mut() {
+                row[s] *= scale;
+            }
+        }
+    }
+    // Clamp rounding residue above demand caps.
+    for j in 0..n {
+        for s in 0..m {
+            x[j][s] = x[j][s].min(demands[j][s]);
+        }
+    }
+
+    // Step 3: augment to restore the aggregates exactly.
+    let mut net = AllocationNetwork::new(demands, capacities);
+    for (j, &a) in aggregates.iter().enumerate() {
+        net.set_job_cap(j, a);
+    }
+    net.preload_split(&x);
+    let total = net.run_max_flow();
+    let want: f64 = aggregates.iter().sum();
+    assert!(
+        (total - want).abs() <= 1e-6 * (1.0 + want),
+        "aggregates infeasible: reached {total} of {want}"
+    );
+    net.split_matrix()
+}
+
+/// Weighted water-fill of `amount` over one job's sites: rate ∝ weight
+/// until a cap binds. Sites with zero weight and zero cap get nothing.
+fn fill_job(out: &mut [f64], amount: f64, caps: &[f64], weights: &[f64]) {
+    if amount <= 0.0 {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    // Indices with usable capacity. Weights of finished portions are 0;
+    // give them a negligible positive weight so stray demand can still
+    // absorb allocation if the work-bearing sites cannot take it all.
+    let idx: Vec<usize> = (0..caps.len()).filter(|&s| caps[s] > 0.0).collect();
+    if idx.is_empty() {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let caps_v: Vec<f64> = idx.iter().map(|&s| caps[s]).collect();
+    let weights_v: Vec<f64> = idx
+        .iter()
+        .map(|&s| if weights[s] > 0.0 { weights[s] } else { 1e-6 })
+        .collect();
+    let filled = water_fill_weighted(amount, &caps_v, &weights_v);
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for (k, &s) in idx.iter().enumerate() {
+        out[s] = filled[k];
+    }
+}
+
+fn sum_of(v: &[f64]) -> f64 {
+    v.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_split_is_work_proportional() {
+        // One job, A = 6, remaining (2, 1) → split (4, 2): both portions
+        // finish at the same instant.
+        let x = balanced_progress_split(
+            &[10.0, 10.0],
+            &[vec![10.0, 10.0]],
+            &[6.0],
+            &[vec![2.0, 1.0]],
+            4,
+        );
+        assert!((x[0][0] - 4.0).abs() < 1e-9);
+        assert!((x[0][1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_caps_bind() {
+        // Proportional wants (4, 2) but site-0 demand cap is 3: the
+        // overflow moves to site 1.
+        let x = balanced_progress_split(
+            &[10.0, 10.0],
+            &[vec![3.0, 10.0]],
+            &[6.0],
+            &[vec![2.0, 1.0]],
+            4,
+        );
+        assert!((x[0][0] - 3.0).abs() < 1e-9);
+        assert!((x[0][1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregates_preserved_under_contention() {
+        // Two jobs pile onto site 0; the repair + augment phases must keep
+        // both aggregates intact.
+        let capacities = [4.0, 4.0];
+        let demands = vec![vec![4.0, 4.0], vec![4.0, 4.0]];
+        let aggregates = [4.0, 4.0];
+        let remaining = vec![vec![10.0, 1.0], vec![10.0, 1.0]];
+        let x = balanced_progress_split(&capacities, &demands, &aggregates, &remaining, 4);
+        for (j, row) in x.iter().enumerate() {
+            let total: f64 = row.iter().sum();
+            assert!(
+                (total - aggregates[j]).abs() < 1e-6,
+                "job {j} aggregate drifted: {total}"
+            );
+        }
+        for s in 0..2 {
+            let load: f64 = x.iter().map(|row| row[s]).sum();
+            assert!(load <= capacities[s] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn balanced_beats_arbitrary_split_on_finish_time() {
+        // Job with work (9, 1) and aggregate 5. Balanced: rates (4.5, 0.5)
+        // → finish at 2.0. A lopsided split like (2.5, 2.5) finishes at
+        // 9/2.5 = 3.6.
+        let x = balanced_progress_split(
+            &[10.0, 10.0],
+            &[vec![10.0, 10.0]],
+            &[5.0],
+            &[vec![9.0, 1.0]],
+            4,
+        );
+        let finish = (9.0 / x[0][0]).max(1.0 / x[0][1]);
+        assert!((finish - 2.0).abs() < 1e-6, "finish {finish}");
+    }
+
+    #[test]
+    fn zero_aggregate_job() {
+        let x = balanced_progress_split(
+            &[5.0],
+            &[vec![5.0], vec![5.0]],
+            &[0.0, 5.0],
+            &[vec![1.0], vec![1.0]],
+            2,
+        );
+        assert_eq!(x[0][0], 0.0);
+        assert!((x[1][0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finished_portion_attracts_no_rate_when_work_elsewhere() {
+        // Site 0's portion is done (remaining 0) but demand lingers; the
+        // split should put (almost) everything on site 1 where work is.
+        let x = balanced_progress_split(
+            &[10.0, 10.0],
+            &[vec![5.0, 5.0]],
+            &[5.0],
+            &[vec![0.0, 3.0]],
+            2,
+        );
+        assert!(x[0][1] > 4.9, "work-bearing site starved: {:?}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregates infeasible")]
+    fn infeasible_aggregates_rejected() {
+        balanced_progress_split(&[1.0], &[vec![1.0]], &[5.0], &[vec![1.0]], 2);
+    }
+}

@@ -1,0 +1,467 @@
+//! Task-granular simulation: discrete tasks on discrete slots.
+//!
+//! The fluid engine treats work as infinitely divisible. Real distributed
+//! jobs are bags of **tasks**, each pinned to a site and occupying one slot
+//! for its whole duration, *non-preemptively*. This engine models that:
+//!
+//! * each job brings `tasks[s]` tasks at site `s`, all of one duration;
+//! * at every scheduling event the allocation policy produces fluid
+//!   per-site allocations, which are rounded to integral **slot quotas**
+//!   per (job, site) by largest-remainder rounding;
+//! * running tasks are never killed: if a job's quota drops below its
+//!   running-task count, the excess drains as tasks finish;
+//! * a job completes when its last task does.
+//!
+//! Comparing this engine against the fluid one is the strongest form of the
+//! "fluid is not an artifact" check — it adds both integrality *and*
+//! non-preemption. Used by `tests/` and the ablation benches.
+
+use crate::report::{JobOutcome, SimReport};
+use crate::slots::largest_remainder_round;
+use amf_core::{AllocationPolicy, Instance};
+
+/// One job's task bag: per-site task counts and the common task duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskJob {
+    /// Arrival time.
+    pub arrival: f64,
+    /// Number of tasks at each site.
+    pub tasks: Vec<u32>,
+    /// Duration of each task (all tasks of a job are equal-sized).
+    pub duration: f64,
+    /// Maximum slots the job may hold at a site (its demand cap).
+    pub max_parallelism: f64,
+}
+
+impl TaskJob {
+    /// Total number of tasks across all sites.
+    pub fn total_tasks(&self) -> u32 {
+        self.tasks.iter().sum()
+    }
+}
+
+/// Input to the task-level engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskTrace {
+    /// Site capacities in whole slots.
+    pub capacities: Vec<f64>,
+    /// Jobs in any order (sorted internally by arrival).
+    pub jobs: Vec<TaskJob>,
+}
+
+impl TaskTrace {
+    /// Discretize a fluid [`Trace`](amf_workload::trace::Trace): each
+    /// job's per-site work becomes `round(work / task_duration)` tasks of
+    /// that duration, and its parallelism cap is the maximum of its
+    /// per-site demand caps (the task engine has one cap per job).
+    /// Smaller durations approximate the fluid model better at the cost of
+    /// more events — the E16 experiment sweeps exactly this.
+    ///
+    /// # Panics
+    /// Panics if `task_duration <= 0`.
+    pub fn from_trace(trace: &amf_workload::trace::Trace, task_duration: f64) -> TaskTrace {
+        assert!(task_duration > 0.0, "task duration must be positive");
+        TaskTrace {
+            capacities: trace.capacities.clone(),
+            jobs: trace
+                .jobs
+                .iter()
+                .map(|j| {
+                    let tasks: Vec<u32> = j
+                        .work
+                        .iter()
+                        .map(|&w| (w / task_duration).round().max(if w > 0.0 { 1.0 } else { 0.0 }) as u32)
+                        .collect();
+                    let max_parallelism = j
+                        .demand
+                        .iter()
+                        .cloned()
+                        .fold(0.0f64, f64::max)
+                        .max(if tasks.iter().any(|&t| t > 0) { 1.0 } else { 0.0 });
+                    TaskJob {
+                        arrival: j.arrival,
+                        tasks,
+                        duration: task_duration,
+                        max_parallelism,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActiveJob {
+    idx: usize,
+    /// Tasks not yet started, per site.
+    pending: Vec<u32>,
+    /// Running tasks per site, as (finish time, count) buckets sorted by
+    /// finish time. Kept simple: a Vec of finish times.
+    running: Vec<Vec<f64>>,
+}
+
+impl ActiveJob {
+    fn done(&self) -> bool {
+        self.pending.iter().all(|&p| p == 0) && self.running.iter().all(Vec::is_empty)
+    }
+
+    fn running_at(&self, s: usize) -> usize {
+        self.running[s].len()
+    }
+}
+
+/// Simulate a [`TaskTrace`] under an allocation policy.
+///
+/// The policy sees the *current* demand caps: at each site,
+/// `min(max_parallelism, pending + running)` — a job stops demanding slots
+/// it can no longer use.
+///
+/// # Panics
+/// Panics on malformed traces (ragged rows, non-positive durations for
+/// jobs that have tasks).
+pub fn simulate_tasks(trace: &TaskTrace, policy: &dyn AllocationPolicy<f64>) -> SimReport {
+    let m = trace.capacities.len();
+    for (i, job) in trace.jobs.iter().enumerate() {
+        assert_eq!(job.tasks.len(), m, "job {i}: task row length != site count");
+        assert!(
+            job.total_tasks() == 0 || job.duration > 0.0,
+            "job {i}: tasks with non-positive duration"
+        );
+        assert!(
+            job.total_tasks() == 0 || job.max_parallelism >= 1.0,
+            "job {i}: tasks but max_parallelism < 1"
+        );
+    }
+
+    let mut order: Vec<usize> = (0..trace.jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        trace.jobs[a]
+            .arrival
+            .partial_cmp(&trace.jobs[b].arrival)
+            .expect("NaN arrival")
+    });
+    let mut next_arrival = 0usize;
+
+    let mut outcomes: Vec<JobOutcome> = trace
+        .jobs
+        .iter()
+        .map(|j| JobOutcome {
+            arrival: j.arrival,
+            completion: None,
+        })
+        .collect();
+
+    let mut active: Vec<ActiveJob> = Vec::new();
+    let mut t = 0.0f64;
+    let mut makespan = 0.0f64;
+    let mut reallocations = 0usize;
+    let mut used_slot_time = 0.0f64;
+    let total_capacity: f64 = trace.capacities.iter().sum();
+
+    loop {
+        // Admit arrivals.
+        while next_arrival < order.len() && trace.jobs[order[next_arrival]].arrival <= t {
+            let idx = order[next_arrival];
+            let job = &trace.jobs[idx];
+            if job.total_tasks() == 0 {
+                outcomes[idx].completion = Some(t.max(job.arrival));
+            } else {
+                active.push(ActiveJob {
+                    idx,
+                    pending: job.tasks.clone(),
+                    running: vec![Vec::new(); m],
+                });
+            }
+            next_arrival += 1;
+        }
+
+        // Retire finished jobs (before checking emptiness).
+        let mut k = 0;
+        while k < active.len() {
+            if active[k].done() {
+                outcomes[active[k].idx].completion = Some(t);
+                makespan = makespan.max(t);
+                active.swap_remove(k);
+            } else {
+                k += 1;
+            }
+        }
+
+        if active.is_empty() {
+            match order.get(next_arrival) {
+                Some(&idx) => {
+                    t = trace.jobs[idx].arrival;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // Current demand caps: what the job could still use at each site.
+        let demands: Vec<Vec<f64>> = active
+            .iter()
+            .map(|a| {
+                (0..m)
+                    .map(|s| {
+                        let usable = a.pending[s] as f64 + a.running_at(s) as f64;
+                        usable.min(trace.jobs[a.idx].max_parallelism)
+                    })
+                    .collect()
+            })
+            .collect();
+        let inst =
+            Instance::new(trace.capacities.clone(), demands.clone()).expect("valid instance");
+        let fluid = policy.allocate(&inst);
+        reallocations += 1;
+
+        // Round to slot quotas per site and launch tasks up to quota.
+        // Running tasks always count against the quota but are never killed.
+        for s in 0..m {
+            let fluid_col: Vec<f64> = (0..active.len()).map(|j| fluid.at(j, s)).collect();
+            let demand_col: Vec<f64> = (0..active.len()).map(|j| demands[j][s]).collect();
+            let pending_col: Vec<f64> = active.iter().map(|a| a.pending[s] as f64).collect();
+            let quotas = largest_remainder_round(
+                &fluid_col,
+                trace.capacities[s],
+                &demand_col,
+                &pending_col,
+            );
+            // Enforce the site capacity accounting for running tasks of all
+            // jobs: slots in use cannot exceed capacity by construction
+            // (quotas were granted when tasks launched), but shrinking
+            // quotas do not evict. Launch only into genuinely free slots.
+            let in_use: usize = active.iter().map(|a| a.running_at(s)).sum();
+            let mut free = (trace.capacities[s].floor() as usize).saturating_sub(in_use);
+            for (a, &quota) in active.iter_mut().zip(&quotas) {
+                let want = (quota as usize).saturating_sub(a.running_at(s));
+                let launch = want.min(a.pending[s] as usize).min(free);
+                for _ in 0..launch {
+                    a.running[s].push(t + trace.jobs[a.idx].duration);
+                }
+                a.pending[s] -= launch as u32;
+                free -= launch;
+            }
+        }
+
+        // Next event: earliest task finish or next arrival.
+        let mut t_next = f64::INFINITY;
+        for a in &active {
+            for site_running in &a.running {
+                for &f in site_running {
+                    t_next = t_next.min(f);
+                }
+            }
+        }
+        if let Some(&idx) = order.get(next_arrival) {
+            t_next = t_next.min(trace.jobs[idx].arrival);
+        }
+        if !t_next.is_finite() {
+            // Tasks pending but nothing running and no arrivals: starved
+            // (zero capacity). Report unfinished.
+            break;
+        }
+
+        // Account slot usage over [t, t_next).
+        let running_total: usize = active
+            .iter()
+            .map(|a| a.running.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        used_slot_time += running_total as f64 * (t_next - t);
+        t = t_next;
+
+        // Complete tasks due now.
+        for a in &mut active {
+            for site_running in &mut a.running {
+                site_running.retain(|&f| f > t + 1e-12);
+            }
+        }
+    }
+
+    let mean_utilization = if makespan > 0.0 && total_capacity > 0.0 {
+        used_slot_time / (total_capacity * makespan)
+    } else {
+        0.0
+    };
+
+    SimReport {
+        jobs: outcomes,
+        makespan,
+        mean_utilization,
+        reallocations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_core::{AmfSolver, PerSiteMaxMin};
+
+    fn batch(capacities: Vec<f64>, jobs: Vec<(Vec<u32>, f64, f64)>) -> TaskTrace {
+        TaskTrace {
+            capacities,
+            jobs: jobs
+                .into_iter()
+                .map(|(tasks, duration, par)| TaskJob {
+                    arrival: 0.0,
+                    tasks,
+                    duration,
+                    max_parallelism: par,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_job_waves() {
+        // 10 tasks of duration 1, parallelism 4, one 4-slot site:
+        // waves of 4, 4, 2 → makespan 3.
+        let trace = batch(vec![4.0], vec![(vec![10], 1.0, 4.0)]);
+        let report = simulate_tasks(&trace, &AmfSolver::new());
+        assert!(report.all_finished());
+        assert!((report.makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_jobs_share_slots_fairly() {
+        // Two identical jobs (8 tasks, duration 1, parallelism 8) on an
+        // 8-slot site: AMF gives 4 slots each → both finish at t = 2.
+        let trace = batch(
+            vec![8.0],
+            vec![(vec![8], 1.0, 8.0), (vec![8], 1.0, 8.0)],
+        );
+        let report = simulate_tasks(&trace, &AmfSolver::new());
+        assert!(report.all_finished());
+        for j in &report.jobs {
+            assert!((j.completion.unwrap() - 2.0).abs() < 1e-9);
+        }
+        assert!(report.mean_utilization > 0.99);
+    }
+
+    #[test]
+    fn running_tasks_are_not_preempted() {
+        // Job 0 starts alone and grabs all 4 slots (duration 10). Job 1
+        // arrives at t=1; fairness wants 2/2, but job 0's tasks run to
+        // completion — job 1 only gets slots at t=10.
+        let trace = TaskTrace {
+            capacities: vec![4.0],
+            jobs: vec![
+                TaskJob {
+                    arrival: 0.0,
+                    tasks: vec![4],
+                    duration: 10.0,
+                    max_parallelism: 4.0,
+                },
+                TaskJob {
+                    arrival: 1.0,
+                    tasks: vec![2],
+                    duration: 1.0,
+                    max_parallelism: 2.0,
+                },
+            ],
+        };
+        let report = simulate_tasks(&trace, &AmfSolver::new());
+        assert!(report.all_finished());
+        assert!((report.jobs[0].completion.unwrap() - 10.0).abs() < 1e-9);
+        // Job 1 launches at 10, finishes at 11.
+        assert!((report.jobs[1].completion.unwrap() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_site_job_completes_when_all_tasks_do() {
+        let trace = batch(
+            vec![2.0, 2.0],
+            vec![(vec![4, 1], 1.0, 4.0)],
+        );
+        let report = simulate_tasks(&trace, &AmfSolver::new());
+        assert!(report.all_finished());
+        // Site 0: waves of 2,2 → done at 2; site 1: done at 1 → JCT 2.
+        assert!((report.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_fluid_on_divisible_instances() {
+        // Task counts and slots chosen so the fluid allocation is integral
+        // and wave-aligned; both engines give the same JCTs.
+        let task_trace = batch(
+            vec![6.0],
+            vec![(vec![6], 2.0, 6.0), (vec![6], 2.0, 6.0)],
+        );
+        let report = simulate_tasks(&task_trace, &AmfSolver::new());
+        // Fluid equivalent: work = 12 task-seconds each, rate 3 each.
+        // Both: 6 tasks at 3 slots = 2 waves × 2s = 4.
+        for j in &report.jobs {
+            assert!((j.completion.unwrap() - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn psmf_and_amf_order_preserved_at_task_granularity() {
+        // A concentrated job and a spread job; AMF's aggregate balancing
+        // still helps the concentrated one at task granularity.
+        let trace = batch(
+            vec![4.0, 4.0],
+            vec![
+                (vec![12, 0], 1.0, 12.0), // concentrated on site 0
+                (vec![6, 6], 1.0, 12.0),  // spread
+            ],
+        );
+        let amf = simulate_tasks(&trace, &AmfSolver::new());
+        let psmf = simulate_tasks(&trace, &PerSiteMaxMin);
+        assert!(amf.all_finished() && psmf.all_finished());
+        let amf_conc = amf.jobs[0].jct().unwrap();
+        let psmf_conc = psmf.jobs[0].jct().unwrap();
+        assert!(
+            amf_conc <= psmf_conc + 1e-9,
+            "concentrated job: amf {amf_conc} vs psmf {psmf_conc}"
+        );
+    }
+
+    #[test]
+    fn from_trace_discretizes_work_and_demand() {
+        use amf_workload::trace::{Trace, TraceJob};
+        let fluid = Trace {
+            capacities: vec![4.0, 2.0],
+            jobs: vec![TraceJob {
+                arrival: 1.5,
+                work: vec![10.0, 0.0],
+                demand: vec![4.0, 0.0],
+            }],
+        };
+        let tasks = TaskTrace::from_trace(&fluid, 2.0);
+        assert_eq!(tasks.jobs[0].tasks, vec![5, 0]);
+        assert_eq!(tasks.jobs[0].duration, 2.0);
+        assert_eq!(tasks.jobs[0].max_parallelism, 4.0);
+        assert_eq!(tasks.jobs[0].arrival, 1.5);
+        // Tiny residual work still yields at least one task.
+        let fluid2 = Trace {
+            capacities: vec![4.0],
+            jobs: vec![TraceJob {
+                arrival: 0.0,
+                work: vec![0.1],
+                demand: vec![1.0],
+            }],
+        };
+        assert_eq!(TaskTrace::from_trace(&fluid2, 2.0).jobs[0].tasks, vec![1]);
+    }
+
+    #[test]
+    fn zero_task_job_completes_instantly() {
+        let trace = batch(vec![2.0], vec![(vec![0], 1.0, 1.0)]);
+        let report = simulate_tasks(&trace, &AmfSolver::new());
+        assert_eq!(report.jobs[0].completion, Some(0.0));
+    }
+
+    #[test]
+    fn starvation_reported_on_zero_capacity() {
+        let trace = batch(vec![0.0], vec![(vec![3], 1.0, 3.0)]);
+        let report = simulate_tasks(&trace, &AmfSolver::new());
+        assert!(!report.all_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive duration")]
+    fn bad_duration_rejected() {
+        let trace = batch(vec![1.0], vec![(vec![1], 0.0, 1.0)]);
+        simulate_tasks(&trace, &AmfSolver::new());
+    }
+}

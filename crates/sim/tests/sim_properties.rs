@@ -1,0 +1,120 @@
+//! Property-based tests of the fluid engine: completion, work
+//! conservation, and physical lower bounds on random workloads.
+
+use amf_core::{AmfSolver, PerSiteMaxMin};
+use amf_sim::{simulate, SimConfig, SplitStrategy};
+use amf_workload::trace::{Trace, TraceJob};
+use proptest::prelude::*;
+
+/// Random batch traces: 1–6 jobs on 1–4 sites, integral-ish work and
+/// demand, positive capacities so nothing can starve.
+fn random_trace() -> impl Strategy<Value = Trace> {
+    (1usize..5, 1usize..7).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(1.0f64..20.0, m),
+            proptest::collection::vec(
+                proptest::collection::vec((0u8..2, 1.0f64..30.0, 1.0f64..8.0), m),
+                n,
+            ),
+        )
+            .prop_map(|(capacities, job_specs)| Trace {
+                capacities,
+                jobs: job_specs
+                    .into_iter()
+                    .map(|spec| {
+                        let mut work = Vec::new();
+                        let mut demand = Vec::new();
+                        for (present, w, d) in spec {
+                            if present == 1 {
+                                work.push(w);
+                                demand.push(d);
+                            } else {
+                                work.push(0.0);
+                                demand.push(0.0);
+                            }
+                        }
+                        TraceJob {
+                            arrival: 0.0,
+                            work,
+                            demand,
+                        }
+                    })
+                    .collect(),
+            })
+    })
+}
+
+fn configs() -> Vec<SimConfig> {
+    vec![
+        SimConfig::default(),
+        SimConfig {
+            split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+            ..SimConfig::default()
+        },
+        SimConfig {
+            reallocation_quantum: Some(2.5),
+            ..SimConfig::default()
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Everything finishes, and the work done equals the work offered.
+    #[test]
+    fn completion_and_work_conservation(trace in random_trace()) {
+        let total_work: f64 = trace.jobs.iter().map(|j| j.work.iter().sum::<f64>()).sum();
+        let total_capacity: f64 = trace.capacities.iter().sum();
+        for config in configs() {
+            let report = simulate(&trace, &AmfSolver::new(), &config);
+            prop_assert!(report.all_finished(), "starved under {config:?}");
+            if total_work > 0.0 {
+                let done = report.mean_utilization * report.makespan * total_capacity;
+                prop_assert!(
+                    (done - total_work).abs() / total_work < 1e-3,
+                    "work leak: did {done} of {total_work} under {config:?}"
+                );
+            }
+        }
+    }
+
+    /// Physical lower bounds: a job can never beat its demand-limited
+    /// completion time, and the makespan can never beat the bandwidth
+    /// bound of any single site.
+    #[test]
+    fn jct_respects_physical_lower_bounds(trace in random_trace()) {
+        let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+        prop_assert!(report.all_finished());
+        for (job, outcome) in trace.jobs.iter().zip(&report.jobs) {
+            let ideal = (0..trace.capacities.len())
+                .map(|s| {
+                    if job.work[s] > 0.0 {
+                        job.work[s] / job.demand[s].min(trace.capacities[s])
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(0.0f64, f64::max);
+            let jct = outcome.jct().expect("finished");
+            prop_assert!(jct >= ideal - 1e-6, "jct {jct} beats ideal {ideal}");
+        }
+        for s in 0..trace.capacities.len() {
+            let site_work: f64 = trace.jobs.iter().map(|j| j.work[s]).sum();
+            if site_work > 0.0 {
+                let bound = site_work / trace.capacities[s];
+                prop_assert!(report.makespan >= bound - 1e-6);
+            }
+        }
+    }
+
+    /// The per-site baseline also satisfies the same invariants (engine
+    /// properties are policy-independent).
+    #[test]
+    fn invariants_hold_for_psmf(trace in random_trace()) {
+        let report = simulate(&trace, &PerSiteMaxMin, &SimConfig::default());
+        prop_assert!(report.all_finished());
+        prop_assert!(report.mean_utilization <= 1.0 + 1e-9);
+        prop_assert!(report.reallocations >= 1 || trace.jobs.iter().all(|j| j.work.iter().sum::<f64>() == 0.0));
+    }
+}

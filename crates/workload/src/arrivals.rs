@@ -1,0 +1,71 @@
+//! Arrival processes for the online experiments (E7).
+
+use rand::Rng;
+
+/// Generate `n` Poisson arrival times with the given rate (jobs per unit
+/// time), starting at time 0. Returned times are strictly increasing.
+///
+/// ```
+/// use amf_workload::arrivals::poisson_arrivals;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let times = poisson_arrivals(5, 2.0, &mut StdRng::seed_from_u64(1));
+/// assert_eq!(times.len(), 5);
+/// assert!(times.windows(2).all(|w| w[1] > w[0]));
+/// ```
+///
+/// # Panics
+/// Panics if `rate <= 0`.
+pub fn poisson_arrivals<R: Rng>(n: usize, rate: f64, rng: &mut R) -> Vec<f64> {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            let u: f64 = 1.0 - rng.gen_range(0.0..1.0);
+            t += -u.ln() / rate;
+            t
+        })
+        .collect()
+}
+
+/// The arrival rate that produces offered load `rho` on a system with
+/// `total_capacity` slots when jobs bring `mean_work` task-seconds each:
+/// `rate = rho * total_capacity / mean_work`.
+///
+/// # Panics
+/// Panics on non-positive inputs.
+pub fn rate_for_load(rho: f64, total_capacity: f64, mean_work: f64) -> f64 {
+    assert!(rho > 0.0 && total_capacity > 0.0 && mean_work > 0.0, "bad load parameters");
+    rho * total_capacity / mean_work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_increasing_and_rate_matches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let times = poisson_arrivals(20_000, 2.0, &mut rng);
+        assert_eq!(times.len(), 20_000);
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Mean interarrival ~ 1/rate.
+        let mean_gap = times.last().unwrap() / 20_000.0;
+        assert!((mean_gap - 0.5).abs() < 0.02, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn load_rate_formula() {
+        // rho=0.8 on 1000 slots with mean work 500 → 1.6 jobs/time.
+        assert!((rate_for_load(0.8, 1000.0, 500.0) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        poisson_arrivals(1, 0.0, &mut StdRng::seed_from_u64(0));
+    }
+}

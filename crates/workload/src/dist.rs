@@ -1,0 +1,187 @@
+//! Job-size distributions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of job totals (total work in task-seconds, or total
+/// parallelism in slots).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Every job identical.
+    Constant {
+        /// The common value (must be positive).
+        value: f64,
+    },
+    /// Exponential with the given mean — the memoryless default for job
+    /// sizes in scheduling simulations.
+    Exponential {
+        /// Mean (must be positive).
+        mean: f64,
+    },
+    /// Bounded Pareto: heavy-tailed sizes in `[min, max]` with tail index
+    /// `shape` — models the elephants-and-mice mix of analytics clusters.
+    BoundedPareto {
+        /// Tail index `α > 0` (smaller = heavier tail).
+        shape: f64,
+        /// Lower bound (positive).
+        min: f64,
+        /// Upper bound (`> min`).
+        max: f64,
+    },
+    /// Two-point mixture: `small` with probability `p_small`, else `large`.
+    Bimodal {
+        /// The small value.
+        small: f64,
+        /// The large value.
+        large: f64,
+        /// Probability of drawing `small`, in `[0, 1]`.
+        p_small: f64,
+    },
+}
+
+impl SizeDist {
+    /// Draw one sample.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (non-positive mean, `max <= min`, …).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            SizeDist::Constant { value } => {
+                assert!(value > 0.0, "Constant size must be positive");
+                value
+            }
+            SizeDist::Exponential { mean } => {
+                assert!(mean > 0.0, "Exponential mean must be positive");
+                // Inverse CDF on u ∈ (0, 1]; 1-gen_range(0..1) avoids ln(0).
+                let u: f64 = 1.0 - rng.gen_range(0.0..1.0);
+                -mean * u.ln()
+            }
+            SizeDist::BoundedPareto { shape, min, max } => {
+                assert!(shape > 0.0 && min > 0.0 && max > min, "bad Pareto params");
+                let u: f64 = rng.gen_range(0.0..1.0);
+                // Inverse CDF of the bounded Pareto.
+                let lo = min.powf(-shape);
+                let hi = max.powf(-shape);
+                (lo - u * (lo - hi)).powf(-1.0 / shape)
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_small,
+            } => {
+                assert!((0.0..=1.0).contains(&p_small), "bad bimodal probability");
+                if rng.gen_bool(p_small) {
+                    small
+                } else {
+                    large
+                }
+            }
+        }
+    }
+
+    /// The distribution mean (exact, for load calculations).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDist::Constant { value } => value,
+            SizeDist::Exponential { mean } => mean,
+            SizeDist::BoundedPareto { shape, min, max } => {
+                if (shape - 1.0).abs() < 1e-12 {
+                    // α = 1: mean = ln(max/min) / (1/min - 1/max) for the
+                    // bounded variant.
+                    (max / min).ln() / (1.0 / min - 1.0 / max)
+                } else {
+                    let a = shape;
+                    (a * min.powf(a)) / (1.0 - (min / max).powf(a))
+                        * (1.0 / (a - 1.0))
+                        * (min.powf(1.0 - a) - max.powf(1.0 - a))
+                }
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_small,
+            } => p_small * small + (1.0 - p_small) * large,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(dist: SizeDist, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = SizeDist::Constant { value: 3.5 };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+        assert_eq!(d.mean(), 3.5);
+    }
+
+    #[test]
+    fn exponential_sample_mean_matches() {
+        let d = SizeDist::Exponential { mean: 4.0 };
+        let m = sample_mean(d, 40_000, 1);
+        assert!((m - 4.0).abs() < 0.1, "sample mean {m}");
+        assert!(d.sample(&mut StdRng::seed_from_u64(2)) >= 0.0);
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = SizeDist::BoundedPareto {
+            shape: 1.5,
+            min: 1.0,
+            max: 100.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x), "out of bounds: {x}");
+        }
+        let m = sample_mean(d, 60_000, 4);
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.05,
+            "sample mean {m} vs analytic {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn bimodal_mixture() {
+        let d = SizeDist::Bimodal {
+            small: 1.0,
+            large: 10.0,
+            p_small: 0.8,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut smalls = 0;
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!(x == 1.0 || x == 10.0);
+            if x == 1.0 {
+                smalls += 1;
+            }
+        }
+        assert!((smalls as f64 / 10_000.0 - 0.8).abs() < 0.02);
+        assert!((d.mean() - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad Pareto params")]
+    fn pareto_rejects_inverted_bounds() {
+        let d = SizeDist::BoundedPareto {
+            shape: 1.0,
+            min: 5.0,
+            max: 2.0,
+        };
+        d.sample(&mut StdRng::seed_from_u64(0));
+    }
+}

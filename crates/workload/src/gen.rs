@@ -1,0 +1,310 @@
+//! The workload generator: site capacities + jobs with per-site work and
+//! demand caps.
+
+use crate::dist::SizeDist;
+use crate::skew::{SitePlacement, SiteSkew};
+use amf_core::Instance;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One job: its remaining work (task-seconds) and demand cap (maximum
+/// parallelism, in slots) at every site. Both follow the same site shares —
+/// a job with 60% of its data at a site has 60% of its tasks there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Remaining work per site (task-seconds).
+    pub work: Vec<f64>,
+    /// Demand cap per site (slots).
+    pub demand: Vec<f64>,
+}
+
+impl JobSpec {
+    /// Total remaining work across sites.
+    pub fn total_work(&self) -> f64 {
+        self.work.iter().sum()
+    }
+
+    /// Total demand across sites.
+    pub fn total_demand(&self) -> f64 {
+        self.demand.iter().sum()
+    }
+}
+
+/// How a job's per-site demand cap (maximum parallelism) relates to its
+/// work distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DemandModel {
+    /// `demand[s] = share_s * total_parallelism`: the job's slot cap at a
+    /// site tracks its task count there. Used by the *static balance*
+    /// experiments — the skew is visible in the demand matrix itself.
+    #[default]
+    ProportionalToWork,
+    /// `demand[s] = total_parallelism` at every touched site: the job has
+    /// far more tasks than slots everywhere it runs, so any allocation up
+    /// to its parallelism cap is usable at any of its sites. Used by the
+    /// *completion-time* experiments — allocation policies then control
+    /// progress, and skew manifests through the evolving remaining work.
+    ElasticPerSite,
+}
+
+/// How site capacities are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CapacityModel {
+    /// Every site identical (isolates the skew effect; the experiments'
+    /// default).
+    Uniform,
+    /// Site `s` gets capacity proportional to `(s+1)^-gamma`, normalized
+    /// so the *total* fleet capacity matches the uniform case — models
+    /// heterogeneous fleets where popular sites are also the big ones.
+    ZipfSized {
+        /// Size exponent `γ >= 0` (0 degenerates to uniform).
+        gamma: f64,
+    },
+}
+
+/// Generator parameters. The defaults mirror the scale this reproduction
+/// uses for the skew sweep (E1/E3): 10 sites × 100 slots, 100 jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of sites `m`.
+    pub n_sites: usize,
+    /// Mean capacity per site (slots); distributed per `capacity_model`.
+    pub site_capacity: f64,
+    /// How capacity is spread across sites.
+    pub capacity_model: CapacityModel,
+    /// Number of jobs `n`.
+    pub n_jobs: usize,
+    /// How many sites each job touches (`<= n_sites`).
+    pub sites_per_job: usize,
+    /// Distribution of each job's total work (task-seconds).
+    pub total_work: SizeDist,
+    /// Distribution of each job's total parallelism (slots).
+    pub total_parallelism: SizeDist,
+    /// How a job's work/parallelism is split over its touched sites.
+    pub skew: SiteSkew,
+    /// Whether hot sites coincide across jobs.
+    pub placement: SitePlacement,
+    /// How demand caps relate to work shares.
+    pub demand_model: DemandModel,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n_sites: 10,
+            site_capacity: 100.0,
+            capacity_model: CapacityModel::Uniform,
+            n_jobs: 100,
+            sites_per_job: 10,
+            total_work: SizeDist::Exponential { mean: 1000.0 },
+            total_parallelism: SizeDist::Constant { value: 50.0 },
+            skew: SiteSkew::Uniform,
+            placement: SitePlacement::PerJob,
+            demand_model: DemandModel::ProportionalToWork,
+        }
+    }
+}
+
+/// A generated workload: capacities plus job specs. Convertible to a
+/// static [`Instance`] (demand caps only) or consumed by the simulator
+/// (work + demands).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Site capacities (slots).
+    pub capacities: Vec<f64>,
+    /// The jobs.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl WorkloadConfig {
+    /// Generate a workload with the given RNG.
+    ///
+    /// # Panics
+    /// Panics on inconsistent parameters (`sites_per_job > n_sites`, zero
+    /// sites/jobs handled as empty).
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Workload {
+        assert!(self.n_sites > 0, "need at least one site");
+        assert!(
+            self.sites_per_job >= 1 && self.sites_per_job <= self.n_sites,
+            "sites_per_job out of range"
+        );
+        let jobs = (0..self.n_jobs)
+            .map(|_| {
+                let shares =
+                    self.skew
+                        .place(self.n_sites, self.sites_per_job, self.placement, rng);
+                let total_work = self.total_work.sample(rng);
+                let total_par = self.total_parallelism.sample(rng);
+                let work: Vec<f64> = shares.iter().map(|p| p * total_work).collect();
+                let demand = match self.demand_model {
+                    DemandModel::ProportionalToWork => {
+                        shares.iter().map(|p| p * total_par).collect()
+                    }
+                    DemandModel::ElasticPerSite => work
+                        .iter()
+                        .map(|&w| if w > 0.0 { total_par } else { 0.0 })
+                        .collect(),
+                };
+                JobSpec { work, demand }
+            })
+            .collect();
+        let capacities = match self.capacity_model {
+            CapacityModel::Uniform => vec![self.site_capacity; self.n_sites],
+            CapacityModel::ZipfSized { gamma } => {
+                assert!(gamma >= 0.0, "capacity gamma must be >= 0");
+                let raw: Vec<f64> = (1..=self.n_sites)
+                    .map(|k| (k as f64).powf(-gamma))
+                    .collect();
+                let total_raw: f64 = raw.iter().sum();
+                let fleet = self.site_capacity * self.n_sites as f64;
+                raw.into_iter().map(|w| fleet * w / total_raw).collect()
+            }
+        };
+        Workload { capacities, jobs }
+    }
+}
+
+impl Workload {
+    /// Number of jobs.
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// The static allocation instance (demand caps only).
+    ///
+    /// # Panics
+    /// Panics if the workload is internally inconsistent (ragged rows) —
+    /// cannot happen for generated workloads.
+    pub fn instance(&self) -> Instance<f64> {
+        Instance::new(
+            self.capacities.clone(),
+            self.jobs.iter().map(|j| j.demand.clone()).collect(),
+        )
+        .expect("generated workload must be a valid instance")
+    }
+
+    /// Total offered work (task-seconds).
+    pub fn total_work(&self) -> f64 {
+        self.jobs.iter().map(JobSpec::total_work).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            n_sites: 5,
+            site_capacity: 10.0,
+            capacity_model: CapacityModel::Uniform,
+            n_jobs: 20,
+            sites_per_job: 3,
+            total_work: SizeDist::Constant { value: 30.0 },
+            total_parallelism: SizeDist::Constant { value: 6.0 },
+            skew: SiteSkew::Zipf { alpha: 1.2 },
+            placement: SitePlacement::PerJob,
+            demand_model: DemandModel::ProportionalToWork,
+        }
+    }
+
+    #[test]
+    fn generates_consistent_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = cfg().generate(&mut rng);
+        assert_eq!(w.n_jobs(), 20);
+        assert_eq!(w.n_sites(), 5);
+        for job in &w.jobs {
+            assert_eq!(job.work.len(), 5);
+            assert_eq!(job.demand.len(), 5);
+            assert!((job.total_work() - 30.0).abs() < 1e-9);
+            assert!((job.total_demand() - 6.0).abs() < 1e-9);
+            // Work and demand share the same support.
+            for s in 0..5 {
+                assert_eq!(job.work[s] > 0.0, job.demand[s] > 0.0);
+            }
+            assert_eq!(job.work.iter().filter(|&&v| v > 0.0).count(), 3);
+        }
+        assert!((w.total_work() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = cfg().generate(&mut StdRng::seed_from_u64(7));
+        let b = cfg().generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = cfg().generate(&mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn converts_to_valid_instance() {
+        let w = cfg().generate(&mut StdRng::seed_from_u64(3));
+        let inst = w.instance();
+        assert_eq!(inst.n_jobs(), 20);
+        assert_eq!(inst.n_sites(), 5);
+        assert_eq!(inst.capacity(0), 10.0);
+    }
+
+    #[test]
+    fn skew_increases_per_job_concentration() {
+        let mut uniform_cfg = cfg();
+        uniform_cfg.skew = SiteSkew::Uniform;
+        let mut skewed_cfg = cfg();
+        skewed_cfg.skew = SiteSkew::Zipf { alpha: 2.0 };
+        let u = uniform_cfg.generate(&mut StdRng::seed_from_u64(5));
+        let z = skewed_cfg.generate(&mut StdRng::seed_from_u64(5));
+        let max_share = |w: &Workload| -> f64 {
+            w.jobs
+                .iter()
+                .map(|j| {
+                    j.work.iter().cloned().fold(0.0, f64::max) / j.total_work()
+                })
+                .sum::<f64>()
+                / w.n_jobs() as f64
+        };
+        assert!(max_share(&z) > max_share(&u) + 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sites_per_job out of range")]
+    fn rejects_too_many_touched_sites() {
+        let mut bad = cfg();
+        bad.sites_per_job = 9;
+        bad.generate(&mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn zipf_sized_capacities_preserve_fleet_total() {
+        let mut c = cfg();
+        c.capacity_model = CapacityModel::ZipfSized { gamma: 1.0 };
+        let w = c.generate(&mut StdRng::seed_from_u64(2));
+        let total: f64 = w.capacities.iter().sum();
+        assert!((total - 50.0).abs() < 1e-9, "fleet total {total}");
+        // Monotone nonincreasing: site 0 is the biggest.
+        for pair in w.capacities.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        // gamma = 0 is uniform.
+        let mut c0 = cfg();
+        c0.capacity_model = CapacityModel::ZipfSized { gamma: 0.0 };
+        let w0 = c0.generate(&mut StdRng::seed_from_u64(2));
+        for &cap in &w0.capacities {
+            assert!((cap - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn default_config_is_generable() {
+        let w = WorkloadConfig::default().generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(w.n_jobs(), 100);
+        assert!(w.instance().n_sites() == 10);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic workloads for the AMF experiments.
+//!
+//! The paper evaluates AMF on simulated multi-site workloads whose headline
+//! knob is **how skewed each job's work distribution over sites is** (the
+//! abstract: AMF wins "particularly when the workload distribution of jobs
+//! among sites is highly skewed"). The exact generator parameters from the
+//! paper are unavailable (abstract-only source — see DESIGN.md), so this
+//! crate provides the standard construction:
+//!
+//! * [`SiteSkew`] — per-job site shares: uniform, Zipf(α) over a random or
+//!   global site ranking, or a single hotspot;
+//! * [`SizeDist`] — job total work / parallelism distributions
+//!   (constant, exponential, bounded Pareto, bimodal);
+//! * [`WorkloadConfig`] / [`Workload`] — the generator and its output:
+//!   site capacities, per-job demand caps (max parallelism per site) and
+//!   per-job remaining work per site, convertible to an
+//!   [`amf_core::Instance`] for static allocation or fed to `amf-sim`;
+//! * [`arrivals`] — Poisson arrival processes parameterized by offered
+//!   load;
+//! * [`trace`] — serde JSON trace import/export for the CLI.
+//!
+//! All randomness flows through caller-seeded [`rand::rngs::StdRng`], so
+//! every experiment is reproducible from its printed seed.
+
+#![forbid(unsafe_code)]
+// `!(a < b)` is this workspace's idiom for "a >= b under the total order":
+// NaN is rejected at the model boundary (`Scalar::is_valid`), so negated
+// comparisons are well-defined, and they read correctly next to the
+// tolerance helpers (`definitely_lt` etc.). Indexed matrix loops are kept
+// where the row/column structure is the point.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+mod dist;
+mod gen;
+mod skew;
+pub mod trace;
+
+pub use dist::SizeDist;
+pub use gen::{CapacityModel, DemandModel, JobSpec, Workload, WorkloadConfig};
+pub use skew::{SitePlacement, SiteSkew};

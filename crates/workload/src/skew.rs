@@ -1,0 +1,259 @@
+//! Per-job site-share distributions (the skew axis of the evaluation).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a job's work is distributed over the sites it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SiteSkew {
+    /// Equal share at every touched site (skew axis origin, α = 0).
+    Uniform,
+    /// Zipf shares: the job's `k`-th ranked site receives weight
+    /// `1 / k^alpha`. `alpha = 0` degenerates to uniform; larger `alpha`
+    /// concentrates work on the top-ranked site — the paper's
+    /// "highly skewed" regime.
+    Zipf {
+        /// Skew exponent `α >= 0`.
+        alpha: f64,
+    },
+    /// A fraction of the work pinned to one hot site, the rest uniform
+    /// over the remaining touched sites.
+    Hotspot {
+        /// Fraction of the job's work on the hot site, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// How jobs rank sites when applying a skewed distribution.
+///
+/// This is what turns *per-job* skew into *cross-job* contention: with
+/// [`SitePlacement::PerJob`] every job has a different hot site and the
+/// population stays symmetric; with popularity-weighted or global rankings,
+/// hot sites collide (popular datasets live on popular sites), which is the
+/// regime where per-site fairness becomes aggregate-unfair and AMF shines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SitePlacement {
+    /// Each job draws its own uniform-random site ranking: hot sites differ
+    /// across jobs (contention is spread).
+    PerJob,
+    /// All jobs share one global ranking: every job's hottest site is the
+    /// same site (worst-case contention).
+    Global,
+    /// Rankings drawn per job, weighted by site popularity
+    /// `w_s ∝ (s+1)^-gamma` (site 0 most popular). `gamma = 0` degenerates
+    /// to [`SitePlacement::PerJob`]; large `gamma` approaches
+    /// [`SitePlacement::Global`].
+    Popularity {
+        /// Popularity exponent `γ >= 0`.
+        gamma: f64,
+    },
+}
+
+impl SiteSkew {
+    /// Produce normalized shares over `count` sites (rank order).
+    ///
+    /// # Panics
+    /// Panics if `count == 0`, `alpha < 0`, or a hotspot fraction is
+    /// outside `[0, 1]`.
+    pub fn shares(&self, count: usize) -> Vec<f64> {
+        assert!(count > 0, "shares: need at least one site");
+        match *self {
+            SiteSkew::Uniform => vec![1.0 / count as f64; count],
+            SiteSkew::Zipf { alpha } => {
+                assert!(alpha >= 0.0, "Zipf alpha must be >= 0");
+                let raw: Vec<f64> = (1..=count).map(|k| (k as f64).powf(-alpha)).collect();
+                let total: f64 = raw.iter().sum();
+                raw.into_iter().map(|w| w / total).collect()
+            }
+            SiteSkew::Hotspot { fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "hotspot fraction outside [0,1]"
+                );
+                if count == 1 {
+                    return vec![1.0];
+                }
+                let rest = (1.0 - fraction) / (count - 1) as f64;
+                let mut shares = vec![rest; count];
+                shares[0] = fraction;
+                shares
+            }
+        }
+    }
+
+    /// Assign shares to concrete site indices: draw a ranking according to
+    /// `placement` and scatter [`SiteSkew::shares`] over `touched` of the
+    /// `m` sites. Returns a length-`m` vector summing to 1 with exactly
+    /// `touched` positive entries.
+    ///
+    /// For [`SitePlacement::Global`], the ranking is the identity (site 0
+    /// is globally hottest); for [`SitePlacement::PerJob`], a fresh random
+    /// permutation per call.
+    ///
+    /// # Panics
+    /// Panics if `touched == 0` or `touched > m`.
+    pub fn place<R: Rng>(
+        &self,
+        m: usize,
+        touched: usize,
+        placement: SitePlacement,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert!(touched > 0 && touched <= m, "touched sites out of range");
+        let shares = self.shares(touched);
+        let mut order: Vec<usize> = (0..m).collect();
+        match placement {
+            SitePlacement::Global => {}
+            SitePlacement::PerJob => order.shuffle(rng),
+            SitePlacement::Popularity { gamma } => {
+                assert!(gamma >= 0.0, "popularity gamma must be >= 0");
+                // Efraimidis–Spirakis weighted sampling without
+                // replacement: sort by u^(1/w) descending.
+                let mut keyed: Vec<(f64, usize)> = (0..m)
+                    .map(|s| {
+                        let w = ((s + 1) as f64).powf(-gamma);
+                        let u: f64 = 1.0 - rng.gen_range(0.0..1.0);
+                        (u.powf(1.0 / w), s)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN sampling key"));
+                order = keyed.into_iter().map(|(_, s)| s).collect();
+            }
+        }
+        let mut out = vec![0.0; m];
+        for (rank, &site) in order.iter().take(touched).enumerate() {
+            out[site] = shares[rank];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_shares() {
+        let s = SiteSkew::Uniform.shares(4);
+        assert_eq!(s, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn zipf_zero_is_uniform() {
+        let z = SiteSkew::Zipf { alpha: 0.0 }.shares(5);
+        for v in z {
+            assert!((v - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_with_alpha() {
+        let lo = SiteSkew::Zipf { alpha: 0.5 }.shares(10);
+        let hi = SiteSkew::Zipf { alpha: 2.0 }.shares(10);
+        assert!(hi[0] > lo[0], "higher alpha => more mass on rank 1");
+        assert!(hi[9] < lo[9]);
+        // Monotone nonincreasing in rank.
+        for w in hi.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        let total: f64 = hi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspot_shares() {
+        let h = SiteSkew::Hotspot { fraction: 0.7 }.shares(4);
+        assert!((h[0] - 0.7).abs() < 1e-12);
+        assert!((h[1] - 0.1).abs() < 1e-12);
+        assert_eq!(SiteSkew::Hotspot { fraction: 0.7 }.shares(1), vec![1.0]);
+    }
+
+    #[test]
+    fn placement_global_uses_identity_ranking() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = SiteSkew::Zipf { alpha: 1.0 }.place(5, 3, SitePlacement::Global, &mut rng);
+        assert!(p[0] > p[1] && p[1] > p[2]);
+        assert_eq!(p[3], 0.0);
+        assert_eq!(p[4], 0.0);
+    }
+
+    #[test]
+    fn placement_per_job_varies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let skew = SiteSkew::Zipf { alpha: 1.5 };
+        let mut hot_sites = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let p = skew.place(8, 8, SitePlacement::PerJob, &mut rng);
+            let hot = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            hot_sites.insert(hot);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+        assert!(hot_sites.len() > 1, "per-job placement must vary hot site");
+    }
+
+    #[test]
+    fn touched_limits_support() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = SiteSkew::Uniform.place(6, 2, SitePlacement::PerJob, &mut rng);
+        assert_eq!(p.iter().filter(|&&v| v > 0.0).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "touched sites out of range")]
+    fn zero_touched_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        SiteSkew::Uniform.place(3, 0, SitePlacement::PerJob, &mut rng);
+    }
+
+    #[test]
+    fn popularity_placement_biases_toward_low_indices() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let skew = SiteSkew::Zipf { alpha: 2.0 };
+        let mut hot_count_site0 = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let p = skew.place(8, 8, SitePlacement::Popularity { gamma: 2.0 }, &mut rng);
+            let hot = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if hot == 0 {
+                hot_count_site0 += 1;
+            }
+        }
+        // Site 0 should be hot far more often than 1/8 of the time.
+        assert!(
+            hot_count_site0 > trials / 4,
+            "site 0 hot only {hot_count_site0}/{trials}"
+        );
+    }
+
+    #[test]
+    fn popularity_gamma_zero_is_near_uniform() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let skew = SiteSkew::Zipf { alpha: 2.0 };
+        let mut hot_sites = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let p = skew.place(6, 6, SitePlacement::Popularity { gamma: 0.0 }, &mut rng);
+            let hot = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            hot_sites.insert(hot);
+        }
+        assert!(hot_sites.len() >= 4, "gamma=0 should spread hot sites");
+    }
+}

@@ -1,0 +1,127 @@
+//! JSON trace format: workloads with arrival times, for the CLI and for
+//! replaying identical inputs across policies.
+
+use crate::gen::{JobSpec, Workload};
+use serde::{Deserialize, Serialize};
+
+/// One job in a trace: a [`JobSpec`] plus its arrival time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceJob {
+    /// Arrival time (0 for batch workloads).
+    pub arrival: f64,
+    /// Remaining work per site (task-seconds).
+    pub work: Vec<f64>,
+    /// Demand cap per site (slots).
+    pub demand: Vec<f64>,
+}
+
+/// A complete trace: site capacities plus arriving jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Site capacities (slots).
+    pub capacities: Vec<f64>,
+    /// Jobs in arrival order.
+    pub jobs: Vec<TraceJob>,
+}
+
+impl Trace {
+    /// Batch trace (all arrivals at time 0) from a workload.
+    pub fn batch(workload: &Workload) -> Self {
+        Self::with_arrivals(workload, &vec![0.0; workload.n_jobs()])
+    }
+
+    /// Trace with explicit arrival times.
+    ///
+    /// # Panics
+    /// Panics if `arrivals.len() != workload.n_jobs()`.
+    pub fn with_arrivals(workload: &Workload, arrivals: &[f64]) -> Self {
+        assert_eq!(
+            arrivals.len(),
+            workload.n_jobs(),
+            "arrival count != job count"
+        );
+        Trace {
+            capacities: workload.capacities.clone(),
+            jobs: workload
+                .jobs
+                .iter()
+                .zip(arrivals)
+                .map(|(j, &arrival)| TraceJob {
+                    arrival,
+                    work: j.work.clone(),
+                    demand: j.demand.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The workload view (dropping arrivals).
+    pub fn workload(&self) -> Workload {
+        Workload {
+            capacities: self.capacities.clone(),
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| JobSpec {
+                    work: j.work.clone(),
+                    demand: j.demand.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload() -> Workload {
+        WorkloadConfig {
+            n_sites: 3,
+            n_jobs: 4,
+            sites_per_job: 2,
+            ..WorkloadConfig::default()
+        }
+        .generate(&mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let trace = Trace::batch(&workload());
+        let json = trace.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn with_arrivals_attaches_times() {
+        let w = workload();
+        let trace = Trace::with_arrivals(&w, &[0.0, 1.5, 2.0, 9.0]);
+        assert_eq!(trace.jobs[1].arrival, 1.5);
+        assert_eq!(trace.workload(), w);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(Trace::from_json("{not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival count")]
+    fn arrival_length_checked() {
+        Trace::with_arrivals(&workload(), &[0.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! An online multi-cluster scheduler: jobs arrive by a Poisson process and
+//! the allocator re-runs on every arrival and completion. Compares AMF
+//! with the JCT add-on against the per-site baseline at moderate load.
+//!
+//! ```sh
+//! cargo run --release --example online_cluster
+//! ```
+
+use amf::core::{AllocationPolicy, AmfSolver, PerSiteMaxMin};
+use amf::metrics::{fmt2, fmt4, percentile, Table};
+use amf::sim::{simulate, SimConfig, SplitStrategy};
+use amf::workload::arrivals::{poisson_arrivals, rate_for_load};
+use amf::workload::trace::Trace;
+use amf::workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n_jobs = 60;
+    let mean_work = 600.0;
+    let workload = WorkloadConfig {
+        n_sites: 6,
+        site_capacity: 100.0,
+        capacity_model: CapacityModel::Uniform,
+        n_jobs,
+        sites_per_job: 3,
+        total_work: SizeDist::Exponential { mean: mean_work },
+        total_parallelism: SizeDist::Constant { value: 40.0 },
+        skew: SiteSkew::Zipf { alpha: 1.2 },
+        placement: SitePlacement::Popularity { gamma: 1.0 },
+        demand_model: DemandModel::ElasticPerSite,
+    }
+    .generate(&mut rng);
+
+    // Offered load 0.7 of the 600-slot fleet.
+    let rate = rate_for_load(0.7, 600.0, mean_work);
+    let arrivals = poisson_arrivals(n_jobs, rate, &mut rng);
+    let trace = Trace::with_arrivals(&workload, &arrivals);
+
+    let mut table = Table::new(
+        "online simulation @ load 0.7 (60 jobs, 6 sites)",
+        &["policy", "mean_jct", "p95_jct", "utilization", "reallocations"],
+    );
+    let runs: Vec<(&str, Box<dyn AllocationPolicy<f64>>, SimConfig)> = vec![
+        (
+            "per-site-max-min",
+            Box::new(PerSiteMaxMin),
+            SimConfig::default(),
+        ),
+        (
+            "amf + jct add-on",
+            Box::new(AmfSolver::new()),
+            SimConfig {
+                split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                ..SimConfig::default()
+            },
+        ),
+    ];
+    for (name, policy, config) in runs {
+        let report = simulate(&trace, policy.as_ref(), &config);
+        let jcts = report.jcts();
+        table.row(vec![
+            name.to_string(),
+            fmt2(report.mean_jct()),
+            fmt2(percentile(&jcts, 95.0)),
+            fmt4(report.mean_utilization),
+            report.reallocations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

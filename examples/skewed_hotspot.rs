@@ -1,0 +1,48 @@
+//! The paper's headline effect in miniature: as jobs' work distributions
+//! over sites grow more skewed, per-site max-min fairness lets
+//! widely-spread jobs accumulate big aggregates while concentrated jobs
+//! starve; AMF keeps the aggregate allocations balanced.
+//!
+//! ```sh
+//! cargo run --release --example skewed_hotspot
+//! ```
+
+use amf::core::{AllocationPolicy, AmfSolver, PerSiteMaxMin};
+use amf::metrics::{fmt4, jain_index, min_share, Table};
+use amf::workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut table = Table::new(
+        "allocation balance vs skew (50 jobs, 8 sites, 4 sites/job)",
+        &["alpha", "jain(psmf)", "jain(amf)", "min_share(psmf)", "min_share(amf)"],
+    );
+    for alpha in [0.0, 0.5, 1.0, 1.5, 2.0] {
+        let workload = WorkloadConfig {
+            n_sites: 8,
+            site_capacity: 100.0,
+            capacity_model: CapacityModel::Uniform,
+            n_jobs: 50,
+            sites_per_job: 4,
+            total_work: SizeDist::Exponential { mean: 1500.0 },
+            total_parallelism: SizeDist::Constant { value: 30.0 },
+            skew: SiteSkew::Zipf { alpha },
+            placement: SitePlacement::Popularity { gamma: 1.0 },
+        demand_model: DemandModel::ProportionalToWork,
+        }
+        .generate(&mut StdRng::seed_from_u64(7));
+        let inst = workload.instance();
+        let psmf = PerSiteMaxMin.allocate(&inst);
+        let amf = AmfSolver::new().allocate(&inst);
+        table.row(vec![
+            format!("{alpha:.1}"),
+            fmt4(jain_index(psmf.aggregates())),
+            fmt4(jain_index(amf.aggregates())),
+            fmt4(min_share(psmf.aggregates())),
+            fmt4(min_share(amf.aggregates())),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("AMF's Jain index stays near 1 and its minimum share stays high as skew grows.");
+}

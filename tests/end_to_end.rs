@@ -1,0 +1,118 @@
+//! Integration tests spanning the whole workspace: generate → allocate →
+//! verify → simulate.
+
+use amf::core::{
+    AllocationPolicy, AmfSolver, EqualDivision, PerSiteMaxMin, ProportionalToDemand,
+};
+use amf::sim::{simulate, SimConfig, SplitStrategy};
+use amf::workload::trace::Trace;
+use amf::workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(alpha: f64, seed: u64) -> amf::workload::Workload {
+    WorkloadConfig {
+        n_sites: 6,
+        site_capacity: 50.0,
+        capacity_model: CapacityModel::Uniform,
+        n_jobs: 20,
+        sites_per_job: 3,
+        total_work: SizeDist::Exponential { mean: 400.0 },
+        total_parallelism: SizeDist::Constant { value: 20.0 },
+        skew: SiteSkew::Zipf { alpha },
+        placement: SitePlacement::Popularity { gamma: 1.0 },
+        demand_model: DemandModel::ProportionalToWork,
+    }
+    .generate(&mut StdRng::seed_from_u64(seed))
+}
+
+#[test]
+fn every_policy_produces_feasible_allocations_on_generated_workloads() {
+    let policies: Vec<Box<dyn AllocationPolicy<f64>>> = vec![
+        Box::new(AmfSolver::new()),
+        Box::new(AmfSolver::enhanced()),
+        Box::new(PerSiteMaxMin),
+        Box::new(EqualDivision),
+        Box::new(ProportionalToDemand),
+    ];
+    for seed in 0..5 {
+        for alpha in [0.0, 1.0, 2.0] {
+            let inst = workload(alpha, seed).instance();
+            for policy in &policies {
+                let alloc = policy.allocate(&inst);
+                assert!(
+                    alloc.is_feasible(&inst),
+                    "{} infeasible at alpha={alpha} seed={seed}",
+                    policy.name()
+                );
+                assert_eq!(alloc.n_jobs(), inst.n_jobs());
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_json_round_trip_preserves_simulation_results() {
+    let w = workload(1.2, 3);
+    let trace = Trace::batch(&w);
+    let trace2 = Trace::from_json(&trace.to_json()).expect("round trip");
+    let r1 = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+    let r2 = simulate(&trace2, &AmfSolver::new(), &SimConfig::default());
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn simulations_complete_and_conserve_work() {
+    for seed in 0..3 {
+        let w = workload(1.5, seed);
+        let total_work = w.total_work();
+        let trace = Trace::batch(&w);
+        for (policy, config) in [
+            (
+                Box::new(AmfSolver::new()) as Box<dyn AllocationPolicy<f64>>,
+                SimConfig::default(),
+            ),
+            (
+                Box::new(AmfSolver::new()),
+                SimConfig {
+                    split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                    ..SimConfig::default()
+                },
+            ),
+            (Box::new(PerSiteMaxMin), SimConfig::default()),
+        ] {
+            let report = simulate(&trace, policy.as_ref(), &config);
+            assert!(report.all_finished(), "{} starved", policy.name());
+            // Work conservation: used capacity-time == total work done.
+            let used = report.mean_utilization
+                * report.makespan
+                * trace.capacities.iter().sum::<f64>();
+            assert!(
+                (used - total_work).abs() / total_work < 1e-3,
+                "{}: used {used} vs work {total_work}",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn online_and_batch_agree_when_arrivals_are_zero() {
+    let w = workload(0.8, 9);
+    let batch = Trace::batch(&w);
+    let with_zero_arrivals = Trace::with_arrivals(&w, &vec![0.0; w.n_jobs()]);
+    let r1 = simulate(&batch, &AmfSolver::new(), &SimConfig::default());
+    let r2 = simulate(&with_zero_arrivals, &AmfSolver::new(), &SimConfig::default());
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn slot_engine_tracks_fluid_engine() {
+    let w = workload(1.0, 4);
+    let trace = Trace::batch(&w);
+    let fluid = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
+    let slots = amf::sim::slots::simulate_slots(&trace, &AmfSolver::new());
+    assert!(slots.all_finished());
+    let rel = (slots.mean_jct() - fluid.mean_jct()).abs() / fluid.mean_jct();
+    assert!(rel < 0.35, "slot/fluid divergence {rel}");
+}

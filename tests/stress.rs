@@ -1,0 +1,78 @@
+//! Large-scale soak tests — `#[ignore]`d by default; run with
+//! `cargo test --release -- --ignored` when validating at scale.
+
+use amf::core::{AllocationPolicy, AmfSolver, PerSiteMaxMin};
+use amf::sim::{simulate, SimConfig, SplitStrategy};
+use amf::workload::trace::Trace;
+use amf::workload::{
+    CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn big_workload(n_jobs: usize, n_sites: usize, demand_model: DemandModel) -> amf::workload::Workload {
+    WorkloadConfig {
+        n_sites,
+        site_capacity: 200.0,
+        capacity_model: CapacityModel::Uniform,
+        n_jobs,
+        sites_per_job: (n_sites / 2).max(1),
+        total_work: SizeDist::Exponential { mean: 3000.0 },
+        total_parallelism: SizeDist::Constant { value: 40.0 },
+        skew: SiteSkew::Zipf { alpha: 1.2 },
+        placement: SitePlacement::Popularity { gamma: 1.0 },
+        demand_model,
+    }
+    .generate(&mut StdRng::seed_from_u64(404))
+}
+
+/// 800 jobs × 32 sites: the solver stays exact-shaped (feasible, Pareto
+/// via total = rank) and fast enough to run in a test.
+#[test]
+#[ignore = "large-scale soak; run with --ignored --release"]
+fn solver_at_scale() {
+    let inst = big_workload(800, 32, DemandModel::ProportionalToWork).instance();
+    let out = AmfSolver::new().solve(&inst);
+    assert!(out.allocation.is_feasible(&inst));
+    let all = vec![true; inst.n_jobs()];
+    let total = out.allocation.total();
+    let rank = inst.rank(&all);
+    assert!(
+        (total - rank).abs() / rank < 1e-6,
+        "total {total} vs rank {rank}"
+    );
+    // Sanity on the freeze structure: every job appears exactly once.
+    let frozen: usize = out.rounds.iter().map(|r| r.frozen.len()).sum();
+    assert_eq!(frozen, inst.n_jobs());
+}
+
+/// A 300-job batch simulation runs to completion under both policies and
+/// conserves work.
+#[test]
+#[ignore = "large-scale soak; run with --ignored --release"]
+fn simulation_at_scale() {
+    let workload = big_workload(300, 16, DemandModel::ElasticPerSite);
+    let total_work = workload.total_work();
+    let trace = Trace::batch(&workload);
+    for (policy, config) in [
+        (
+            Box::new(AmfSolver::new()) as Box<dyn AllocationPolicy<f64>>,
+            SimConfig {
+                split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                ..SimConfig::default()
+            },
+        ),
+        (Box::new(PerSiteMaxMin), SimConfig::default()),
+    ] {
+        let report = simulate(&trace, policy.as_ref(), &config);
+        assert!(report.all_finished(), "{} starved", policy.name());
+        let done = report.mean_utilization
+            * report.makespan
+            * trace.capacities.iter().sum::<f64>();
+        assert!(
+            (done - total_work).abs() / total_work < 1e-3,
+            "{}: work leak",
+            policy.name()
+        );
+    }
+}
