@@ -1,0 +1,184 @@
+//! The feasibility certificate: capacities, demand caps, non-negativity
+//! and aggregate consistency, re-checked entry by entry.
+
+use crate::report::{Certificate, FeasibilityViolation, FeasibilityWitness};
+use amf_core::{Allocation, Instance};
+use amf_numeric::{sum, Scalar};
+
+/// Re-check feasibility of `alloc` against `inst`.
+///
+/// All comparisons use the scalar's own tolerance ([`Scalar::eps`]): with
+/// [`Rational`](amf_numeric::Rational) the check is exact, with `f64` it
+/// accepts the solver's documented rounding slack.
+pub fn feasibility_cert<S: Scalar>(
+    inst: &Instance<S>,
+    alloc: &Allocation<S>,
+) -> Certificate<FeasibilityWitness<S>, Vec<FeasibilityViolation<S>>> {
+    let n = inst.n_jobs();
+    let m = inst.n_sites();
+    let mut violations = Vec::new();
+
+    if alloc.n_jobs() != n || alloc.split().iter().any(|row| row.len() != m) {
+        violations.push(FeasibilityViolation::ShapeMismatch {
+            expected_jobs: n,
+            expected_sites: m,
+            actual_jobs: alloc.n_jobs(),
+        });
+        // Entry-wise checks would index out of bounds; report shape only.
+        return Certificate::Violated {
+            counterexample: violations,
+        };
+    }
+
+    let mut min_demand_slack: Option<S> = None;
+    for j in 0..n {
+        for s in 0..m {
+            let x = alloc.at(j, s);
+            if x.definitely_lt(S::ZERO) {
+                violations.push(FeasibilityViolation::NegativeEntry {
+                    job: j,
+                    site: s,
+                    value: x,
+                });
+            }
+            let d = inst.demand(j, s);
+            if x.definitely_gt(d) {
+                violations.push(FeasibilityViolation::DemandExceeded {
+                    job: j,
+                    site: s,
+                    allocated: x,
+                    demand: d,
+                });
+            }
+            let slack = d - x;
+            min_demand_slack = Some(match min_demand_slack {
+                Some(best) if best < slack => best,
+                _ => slack,
+            });
+        }
+        // Aggregates are derived in `Allocation::from_split`, but an
+        // allocation deserialized from JSON carries them as independent
+        // data — re-derive and compare.
+        let recomputed = sum(alloc.split()[j].iter().copied());
+        let stated = alloc.aggregate(j);
+        if !stated.approx_eq(recomputed) {
+            violations.push(FeasibilityViolation::AggregateMismatch {
+                job: j,
+                stated,
+                recomputed,
+            });
+        }
+    }
+
+    let mut site_slack = Vec::with_capacity(m);
+    for s in 0..m {
+        let used = alloc.site_usage(s);
+        let cap = inst.capacity(s);
+        if used.definitely_gt(cap) {
+            violations.push(FeasibilityViolation::CapacityExceeded {
+                site: s,
+                used,
+                capacity: cap,
+            });
+        }
+        site_slack.push(cap - used);
+    }
+
+    if violations.is_empty() {
+        Certificate::Proved {
+            witness: FeasibilityWitness {
+                site_slack,
+                min_demand_slack: min_demand_slack.unwrap_or(S::ZERO),
+            },
+        }
+    } else {
+        Certificate::Violated {
+            counterexample: violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_numeric::Rational;
+
+    fn ri(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn inst() -> Instance<Rational> {
+        Instance::new(
+            vec![ri(10), ri(4)],
+            vec![vec![ri(6), ri(0)], vec![ri(6), ri(4)]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn feasible_split_gets_a_slack_witness() {
+        let alloc = Allocation::from_split(vec![vec![ri(5), ri(0)], vec![ri(4), ri(2)]]);
+        let cert = feasibility_cert(&inst(), &alloc);
+        let witness = cert.witness().expect("should prove");
+        assert_eq!(witness.site_slack, vec![ri(1), ri(2)]);
+        assert_eq!(witness.min_demand_slack, ri(0));
+    }
+
+    #[test]
+    fn capacity_overflow_is_blamed_on_the_site() {
+        let alloc = Allocation::from_split(vec![vec![ri(6), ri(0)], vec![ri(6), ri(2)]]);
+        let cert = feasibility_cert(&inst(), &alloc);
+        let violations = cert.counterexample().expect("should violate");
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, FeasibilityViolation::CapacityExceeded { site: 0, .. })));
+    }
+
+    #[test]
+    fn demand_overflow_and_negative_entries_are_blamed() {
+        let alloc = Allocation::from_split(vec![vec![ri(7), ri(1)], vec![ri(-1), ri(2)]]);
+        let cert = feasibility_cert(&inst(), &alloc);
+        let violations = cert.counterexample().expect("should violate");
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            FeasibilityViolation::DemandExceeded {
+                job: 0,
+                site: 0,
+                ..
+            }
+        )));
+        // x[0][1] = 1 > d[0][1] = 0.
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            FeasibilityViolation::DemandExceeded {
+                job: 0,
+                site: 1,
+                ..
+            }
+        )));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            FeasibilityViolation::NegativeEntry {
+                job: 1,
+                site: 0,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn shape_mismatch_short_circuits() {
+        let alloc = Allocation::from_split(vec![vec![ri(1)]]);
+        let cert = feasibility_cert(&inst(), &alloc);
+        let violations = cert.counterexample().expect("should violate");
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            FeasibilityViolation::ShapeMismatch {
+                expected_jobs: 2,
+                expected_sites: 2,
+                actual_jobs: 1
+            }
+        ));
+    }
+}

@@ -1,0 +1,188 @@
+//! Certificate-based allocation auditor for the AMF workspace.
+//!
+//! Any engine — the progressive-filling solver, a DRF baseline, a policy
+//! inside the simulator, or an allocation deserialized from disk — can hand
+//! its output to [`audit`] and receive an [`AuditReport`] that independently
+//! re-verifies it. Every check produces a [`Certificate`]:
+//!
+//! * **feasibility** — capacities, demand caps, non-negativity and aggregate
+//!   consistency, re-checked entry by entry;
+//! * **lex-optimality** — per-job tight-set/min-cut witnesses extracted from
+//!   the allocation's residual closure (see [`lex_optimality_cert`]), or a
+//!   concrete leximin improvement;
+//! * **Pareto efficiency**, **envy-freeness** and **sharing incentive** —
+//!   the fairness properties the paper proves for AMF and Enhanced AMF,
+//!   each `Proved` with a witness or `Violated` with a counterexample.
+//!
+//! The auditor never trusts the engine that produced the allocation: it
+//! recomputes everything from the [`Instance`] and the split matrix, using
+//! the scalar's own comparison semantics — exact for
+//! [`Rational`](amf_numeric::Rational), tolerance-based for `f64`.
+//!
+//! ```
+//! use amf_audit::SolverAuditExt;
+//! use amf_core::{AmfSolver, Instance};
+//! use amf_numeric::Rational;
+//!
+//! let r = Rational::from_int;
+//! let inst = Instance::new(
+//!     vec![r(6), r(2)],
+//!     vec![vec![r(6), r(0)], vec![r(6), r(2)]],
+//! )
+//! .unwrap();
+//! let (out, report) = AmfSolver::new().solve_audited(&inst);
+//! assert!(report.is_certified_amf());
+//! assert_eq!(out.allocation.aggregate(0), r(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+// See the workspace convention (DESIGN.md): NaN is rejected at the model
+// boundary, so negated partial-order comparisons are total.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+mod feasibility;
+mod propcert;
+pub mod report;
+mod tightset;
+
+pub use feasibility::feasibility_cert;
+pub use propcert::{envy_cert, pareto_cert, si_cert};
+pub use report::{
+    AuditMode, AuditReport, Certificate, EnvyViolation, EnvyWitness, FeasibilityViolation,
+    FeasibilityWitness, JobBlame, LexViolation, ParetoViolation, ParetoWitness,
+    SharingIncentiveViolation, SharingIncentiveWitness,
+};
+pub use tightset::lex_optimality_cert;
+
+use amf_core::{Allocation, AmfSolver, FairnessMode, Instance, SolveOutput};
+use amf_numeric::Scalar;
+
+/// Audit `alloc` against `inst` under the given fairness objective.
+///
+/// Always runs the feasibility, envy-freeness and sharing-incentive checks;
+/// the flow-based lex-optimality and Pareto certificates require a feasible
+/// allocation and come back [`Certificate::Unevaluated`] when feasibility is
+/// violated (their premises would not hold, and the Pareto network would
+/// reject the preload).
+pub fn audit<S: Scalar>(
+    inst: &Instance<S>,
+    alloc: &Allocation<S>,
+    mode: FairnessMode,
+) -> AuditReport<S> {
+    let feasibility = feasibility_cert(inst, alloc);
+    let shape_ok = !matches!(
+        feasibility.counterexample(),
+        Some(v) if v.iter().any(|f| matches!(f, FeasibilityViolation::ShapeMismatch { .. }))
+    );
+    let (lex_optimality, pareto) = if feasibility.is_proved() {
+        (
+            lex_optimality_cert(inst, alloc, mode),
+            pareto_cert(inst, alloc),
+        )
+    } else {
+        (
+            skipped("allocation is infeasible"),
+            skipped("allocation is infeasible"),
+        )
+    };
+    let (envy_freeness, sharing_incentive) = if shape_ok {
+        (envy_cert(inst, alloc), si_cert(inst, alloc))
+    } else {
+        (
+            skipped("allocation shape does not match the instance"),
+            skipped("allocation shape does not match the instance"),
+        )
+    };
+    AuditReport {
+        mode: mode.into(),
+        n_jobs: inst.n_jobs(),
+        n_sites: inst.n_sites(),
+        feasibility,
+        lex_optimality,
+        pareto,
+        envy_freeness,
+        sharing_incentive,
+    }
+}
+
+fn skipped<W, C>(reason: &str) -> Certificate<W, C> {
+    Certificate::Unevaluated {
+        reason: reason.to_owned(),
+    }
+}
+
+/// Solve-and-audit in one call, auditing against the solver's own mode.
+pub trait SolverAuditExt {
+    /// Run the solver and audit its output, returning both.
+    fn solve_audited<S: Scalar>(&self, inst: &Instance<S>) -> (SolveOutput<S>, AuditReport<S>);
+}
+
+impl SolverAuditExt for AmfSolver {
+    fn solve_audited<S: Scalar>(&self, inst: &Instance<S>) -> (SolveOutput<S>, AuditReport<S>) {
+        let out = self.solve(inst);
+        let report = audit(inst, &out.allocation, self.mode());
+        (out, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_numeric::Rational;
+
+    fn ri(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn infeasible_allocation_skips_flow_certificates() {
+        let inst = Instance::new(vec![ri(10)], vec![vec![ri(10)], vec![ri(10)]]).unwrap();
+        let alloc = Allocation::from_split(vec![vec![ri(8)], vec![ri(8)]]);
+        let report = audit(&inst, &alloc, FairnessMode::Plain);
+        assert!(report.feasibility.is_violated());
+        assert!(matches!(
+            report.lex_optimality,
+            Certificate::Unevaluated { .. }
+        ));
+        assert!(matches!(report.pareto, Certificate::Unevaluated { .. }));
+        // Envy/SI only need the shape, which is fine here.
+        assert!(report.envy_freeness.is_proved());
+        assert!(!report.is_certified_amf());
+        assert!(report.summary().ends_with("NOT CERTIFIED"));
+    }
+
+    #[test]
+    fn shape_mismatch_skips_everything_downstream() {
+        let inst = Instance::new(vec![ri(10)], vec![vec![ri(10)], vec![ri(10)]]).unwrap();
+        let alloc = Allocation::from_split(vec![vec![ri(1)]]);
+        let report = audit(&inst, &alloc, FairnessMode::Plain);
+        assert!(report.feasibility.is_violated());
+        assert!(matches!(
+            report.envy_freeness,
+            Certificate::Unevaluated { .. }
+        ));
+        assert!(matches!(
+            report.sharing_incentive,
+            Certificate::Unevaluated { .. }
+        ));
+    }
+
+    #[test]
+    fn solve_audited_certifies_both_modes() {
+        let inst = Instance::new(
+            vec![ri(10), ri(10)],
+            vec![vec![ri(5), ri(5)], vec![ri(0), ri(10)]],
+        )
+        .unwrap();
+        let (_, plain) = AmfSolver::new().solve_audited(&inst);
+        assert!(plain.is_certified_amf(), "{}", plain.summary());
+        // Plain AMF violates SI on this instance, but that is informational.
+        assert!(plain.sharing_incentive.is_violated());
+        assert!(!plain.all_proved());
+
+        let (_, enhanced) = AmfSolver::enhanced().solve_audited(&inst);
+        assert!(enhanced.is_certified_amf(), "{}", enhanced.summary());
+        assert!(enhanced.sharing_incentive.is_proved());
+    }
+}

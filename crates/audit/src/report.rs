@@ -1,0 +1,417 @@
+//! The certificate and report types the auditor emits.
+//!
+//! Every check produces a [`Certificate`]: either `Proved` with a witness
+//! that an independent verifier can re-check, or `Violated` with a concrete
+//! counterexample naming the offending jobs/sites and amounts. A
+//! [`Certificate::Unevaluated`] marks checks that could not run (e.g. the
+//! flow-based certificates when the allocation is not even feasible).
+//!
+//! All report types serialize to JSON via `serde`, so engines and bench
+//! binaries can dump certificates next to their results.
+
+use serde::Serialize;
+
+/// Outcome of one audited property.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Certificate<W, C> {
+    /// The property holds; `witness` is re-checkable evidence.
+    Proved {
+        /// Evidence an independent verifier can re-check.
+        witness: W,
+    },
+    /// The property fails; `counterexample` names where and by how much.
+    Violated {
+        /// Concrete counterexample (jobs/sites/amounts).
+        counterexample: C,
+    },
+    /// The check could not run (e.g. it requires a feasible allocation).
+    Unevaluated {
+        /// Why the check was skipped.
+        reason: String,
+    },
+}
+
+impl<W, C> Certificate<W, C> {
+    /// True iff the property was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Certificate::Proved { .. })
+    }
+
+    /// True iff the property was violated.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Certificate::Violated { .. })
+    }
+
+    /// The witness, if proved.
+    pub fn witness(&self) -> Option<&W> {
+        match self {
+            Certificate::Proved { witness } => Some(witness),
+            _ => None,
+        }
+    }
+
+    /// The counterexample, if violated.
+    pub fn counterexample(&self) -> Option<&C> {
+        match self {
+            Certificate::Violated { counterexample } => Some(counterexample),
+            _ => None,
+        }
+    }
+
+    /// One-word status for summaries.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Certificate::Proved { .. } => "proved",
+            Certificate::Violated { .. } => "VIOLATED",
+            Certificate::Unevaluated { .. } => "unevaluated",
+        }
+    }
+}
+
+/// Which fairness objective the audit verified against (serializable mirror
+/// of [`amf_core::FairnessMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AuditMode {
+    /// Plain AMF: leximin on (weighted) aggregates.
+    Plain,
+    /// Enhanced AMF: leximin subject to the equal-share floors.
+    Enhanced,
+}
+
+impl From<amf_core::FairnessMode> for AuditMode {
+    fn from(mode: amf_core::FairnessMode) -> Self {
+        match mode {
+            amf_core::FairnessMode::Plain => AuditMode::Plain,
+            amf_core::FairnessMode::Enhanced => AuditMode::Enhanced,
+        }
+    }
+}
+
+/// Witness that an allocation is feasible: per-site slack plus the smallest
+/// demand-cap slack over all `(job, site)` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FeasibilityWitness<S> {
+    /// Remaining capacity `c_s - Σ_j x[j][s]` at every site.
+    pub site_slack: Vec<S>,
+    /// `min_{j,s} (d[j][s] - x[j][s])` — zero when some entry is saturated
+    /// (and for empty instances).
+    pub min_demand_slack: S,
+}
+
+/// One way an allocation fails feasibility.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FeasibilityViolation<S> {
+    /// The split matrix shape does not match the instance.
+    ShapeMismatch {
+        /// Jobs × sites expected by the instance.
+        expected_jobs: usize,
+        /// Expected row length (number of sites).
+        expected_sites: usize,
+        /// Rows in the split matrix.
+        actual_jobs: usize,
+    },
+    /// A negative allocation entry.
+    NegativeEntry {
+        /// Offending job.
+        job: usize,
+        /// Offending site.
+        site: usize,
+        /// The negative value.
+        value: S,
+    },
+    /// An entry above the job's demand cap at that site.
+    DemandExceeded {
+        /// Offending job.
+        job: usize,
+        /// Offending site.
+        site: usize,
+        /// Allocated amount.
+        allocated: S,
+        /// The demand cap it exceeds.
+        demand: S,
+    },
+    /// A site's total usage above its capacity.
+    CapacityExceeded {
+        /// Offending site.
+        site: usize,
+        /// Total usage at the site.
+        used: S,
+        /// The capacity it exceeds.
+        capacity: S,
+    },
+    /// A stated aggregate that is not the sum of its split row (possible
+    /// for deserialized allocations, whose fields arrive independently).
+    AggregateMismatch {
+        /// Offending job.
+        job: usize,
+        /// The aggregate the allocation states.
+        stated: S,
+        /// The sum of the job's split row.
+        recomputed: S,
+    },
+}
+
+/// Per-job explanation of why the job's allocation cannot grow — the lex-
+/// optimality witness is one blame entry per job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum JobBlame<S> {
+    /// The job received its full demand; it wants nothing more.
+    DemandCapped {
+        /// The job.
+        job: usize,
+        /// Its aggregate `A_j`.
+        aggregate: S,
+        /// Its total demand `D_j` (equal to the aggregate).
+        total_demand: S,
+    },
+    /// The job sits in a **tight set** `J`: the saturated subset reached by
+    /// its residual closure, with `Σ_{i∈J} A_i = f(J)` (the polymatroid
+    /// rank), so growing it must shrink a member — all of which sit at
+    /// normalized levels no higher than the job's own.
+    TightSet {
+        /// The blamed job.
+        job: usize,
+        /// Its normalized level `A_j / w_j`.
+        level: S,
+        /// Members of the tight set (sorted, includes `job`).
+        jobs: Vec<usize>,
+        /// The saturated sites the closure reached (sorted).
+        sites: Vec<usize>,
+        /// The polymatroid rank `f(J)` of the member set.
+        rank: S,
+        /// `Σ_{i∈J} A_i` — equals `rank` (that is the tightness).
+        member_total: S,
+    },
+}
+
+/// One way an allocation fails lex-optimality (max-min fairness on the
+/// aggregates).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum LexViolation<S> {
+    /// A job below its demand can reach spare capacity through its residual
+    /// closure: its aggregate can grow without hurting anyone.
+    Improvable {
+        /// The improvable job.
+        job: usize,
+        /// A reachable site with spare capacity.
+        via_site: usize,
+        /// The spare capacity at that site.
+        slack: S,
+    },
+    /// A job's tight set contains a member at a strictly higher normalized
+    /// level (and not pinned at its floor): transferring from the member to
+    /// the job is a leximin improvement.
+    LevelInversion {
+        /// The job whose closure was inspected.
+        job: usize,
+        /// Its normalized level `A_j / w_j`.
+        level: S,
+        /// The closure member at a higher level.
+        member: usize,
+        /// The member's normalized level.
+        member_level: S,
+    },
+    /// The closure's members do not actually meet their rank bound — the
+    /// set is not tight (robustness check; unreachable for exact scalars
+    /// when the saturation checks pass).
+    RankGap {
+        /// The job whose closure was inspected.
+        job: usize,
+        /// The polymatroid rank `f(J)` of the closure.
+        rank: S,
+        /// `Σ_{i∈J} A_i`, which differs from `rank`.
+        member_total: S,
+    },
+    /// Enhanced mode only: a job below its equal-share floor.
+    BelowFloor {
+        /// The shorted job.
+        job: usize,
+        /// Its aggregate.
+        aggregate: S,
+        /// The floor `min(e_j, D_j)` it violates.
+        floor: S,
+    },
+}
+
+/// Witness of Pareto efficiency: the loaded split is already a maximum
+/// flow, so no job's aggregate can grow without shrinking another's.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ParetoWitness<S> {
+    /// Total allocated resource `Σ_j A_j`.
+    pub total: S,
+    /// The rank `f(N)` of the full job set — the maximum achievable total;
+    /// equals `total` for a Pareto-efficient allocation.
+    pub rank_all: S,
+}
+
+/// Counterexample to Pareto efficiency.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ParetoViolation<S> {
+    /// A job whose aggregate the max-flow augmentation grew without
+    /// shrinking anyone (source caps never decrease under augmentation).
+    Improvable {
+        /// The job that grew.
+        job: usize,
+        /// How much its aggregate grew.
+        gain: S,
+    },
+}
+
+/// Witness of envy-freeness: every ordered pair of jobs was compared.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EnvyWitness {
+    /// Ordered pairs `(j, k)`, `j != k`, checked.
+    pub pairs_checked: usize,
+}
+
+/// One envy relation: `envious` values `envied`'s bundle (capped by its own
+/// demands, weight-normalized) strictly above its own aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EnvyViolation<S> {
+    /// The envious job `j`.
+    pub envious: usize,
+    /// The envied job `k`.
+    pub envied: usize,
+    /// `A_j / w_j` — what `j` has, normalized.
+    pub own_normalized: S,
+    /// `value_j(x_k) / w_k` — what `j` sees in `k`'s bundle, normalized.
+    pub perceived_normalized: S,
+}
+
+/// Witness of the sharing-incentive property.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SharingIncentiveWitness<S> {
+    /// `min_j (A_j - e_j)` — smallest surplus over the equal share (zero
+    /// for empty instances).
+    pub min_surplus: S,
+}
+
+/// One sharing-incentive shortfall.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SharingIncentiveViolation<S> {
+    /// The shorted job.
+    pub job: usize,
+    /// Its equal share `e_j`.
+    pub equal_share: S,
+    /// Its aggregate `A_j < e_j`.
+    pub aggregate: S,
+    /// `e_j - A_j`.
+    pub shortfall: S,
+}
+
+/// The full audit of one `(instance, allocation)` pair.
+///
+/// Produced by [`audit`](crate::audit); serializable to JSON. Use
+/// [`is_certified_amf`](Self::is_certified_amf) for the overall verdict and
+/// the individual certificates for diagnosis.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AuditReport<S> {
+    /// The fairness objective audited against.
+    pub mode: AuditMode,
+    /// Jobs in the instance.
+    pub n_jobs: usize,
+    /// Sites in the instance.
+    pub n_sites: usize,
+    /// Capacity, demand-cap and aggregate-consistency certificate.
+    pub feasibility: Certificate<FeasibilityWitness<S>, Vec<FeasibilityViolation<S>>>,
+    /// Lex-optimality certificate: tight-set witnesses per job.
+    pub lex_optimality: Certificate<Vec<JobBlame<S>>, Vec<LexViolation<S>>>,
+    /// Pareto-efficiency certificate (flow-based).
+    pub pareto: Certificate<ParetoWitness<S>, ParetoViolation<S>>,
+    /// Envy-freeness certificate.
+    pub envy_freeness: Certificate<EnvyWitness, Vec<EnvyViolation<S>>>,
+    /// Sharing-incentive certificate (informational under plain AMF, which
+    /// legitimately violates it; required under Enhanced).
+    pub sharing_incentive:
+        Certificate<SharingIncentiveWitness<S>, Vec<SharingIncentiveViolation<S>>>,
+}
+
+impl<S> AuditReport<S> {
+    /// The overall verdict: does the allocation carry a complete AMF
+    /// certificate for the audited mode?
+    ///
+    /// * `Plain` requires feasibility, lex-optimality, Pareto efficiency
+    ///   and envy-freeness (the properties the paper proves for AMF —
+    ///   sharing incentive is *not* required, plain AMF may violate it).
+    /// * `Enhanced` requires feasibility, lex-optimality (with floors),
+    ///   Pareto efficiency and sharing incentive.
+    pub fn is_certified_amf(&self) -> bool {
+        let base = self.feasibility.is_proved()
+            && self.lex_optimality.is_proved()
+            && self.pareto.is_proved();
+        match self.mode {
+            AuditMode::Plain => base && self.envy_freeness.is_proved(),
+            AuditMode::Enhanced => base && self.sharing_incentive.is_proved(),
+        }
+    }
+
+    /// True iff every certificate (including sharing incentive) is proved.
+    pub fn all_proved(&self) -> bool {
+        self.feasibility.is_proved()
+            && self.lex_optimality.is_proved()
+            && self.pareto.is_proved()
+            && self.envy_freeness.is_proved()
+            && self.sharing_incentive.is_proved()
+    }
+
+    /// Human-readable one-line-per-certificate summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "audit ({:?}, {} jobs, {} sites): feasibility={} lex_optimality={} \
+             pareto={} envy_freeness={} sharing_incentive={} => {}",
+            self.mode,
+            self.n_jobs,
+            self.n_sites,
+            self.feasibility.status(),
+            self.lex_optimality.status(),
+            self.pareto.status(),
+            self.envy_freeness.status(),
+            self.sharing_incentive.status(),
+            if self.is_certified_amf() {
+                "CERTIFIED"
+            } else {
+                "NOT CERTIFIED"
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certificate_accessors() {
+        let proved: Certificate<u32, String> = Certificate::Proved { witness: 7 };
+        assert!(proved.is_proved());
+        assert!(!proved.is_violated());
+        assert_eq!(proved.witness(), Some(&7));
+        assert_eq!(proved.counterexample(), None);
+        assert_eq!(proved.status(), "proved");
+
+        let violated: Certificate<u32, String> = Certificate::Violated {
+            counterexample: "job 3".into(),
+        };
+        assert!(violated.is_violated());
+        assert_eq!(violated.counterexample().map(String::as_str), Some("job 3"));
+        assert_eq!(violated.status(), "VIOLATED");
+
+        let skipped: Certificate<u32, String> = Certificate::Unevaluated {
+            reason: "infeasible".into(),
+        };
+        assert!(!skipped.is_proved());
+        assert_eq!(skipped.status(), "unevaluated");
+    }
+
+    #[test]
+    fn audit_mode_mirrors_fairness_mode() {
+        assert_eq!(
+            AuditMode::from(amf_core::FairnessMode::Plain),
+            AuditMode::Plain
+        );
+        assert_eq!(
+            AuditMode::from(amf_core::FairnessMode::Enhanced),
+            AuditMode::Enhanced
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based cross-check of the auditor against the brute-force
+//! reference solver, plus serialization round-trips of the report.
+//!
+//! The key claim is **bidirectional** on exact scalars: an allocation's
+//! feasibility + lex-optimality certificates are proved *iff* its aggregate
+//! vector matches the reference AMF aggregates. The forward direction
+//! exercises soundness (no bogus certificates), the reverse completeness
+//! (violations are always detected) — on solver outputs, baseline policies
+//! and deliberately perturbed allocations alike.
+
+use amf_audit::{audit, lex_optimality_cert, AuditReport, Certificate, SolverAuditExt};
+use amf_core::{
+    reference_aggregates, Allocation, AllocationPolicy, AmfSolver, EqualDivision, FairnessMode,
+    Instance, PerSiteMaxMin, ProportionalToDemand,
+};
+use amf_numeric::{Rational, Scalar};
+use proptest::prelude::*;
+
+/// Random small instances: 1..=5 jobs, 1..=3 sites, integer capacities and
+/// demands (exactly representable in both scalar types).
+fn random_shape() -> impl Strategy<Value = (Vec<i64>, Vec<Vec<i64>>)> {
+    (1usize..=5, 1usize..=3).prop_flat_map(|(n, m)| {
+        (
+            proptest::collection::vec(1i64..12, m),
+            proptest::collection::vec(proptest::collection::vec(0i64..10, m), n),
+        )
+    })
+}
+
+fn rational_instance(caps: &[i64], demands: &[Vec<i64>]) -> Instance<Rational> {
+    Instance::new(
+        caps.iter()
+            .map(|&c| Rational::from_int(c as i128))
+            .collect(),
+        demands
+            .iter()
+            .map(|row| row.iter().map(|&d| Rational::from_int(d as i128)).collect())
+            .collect(),
+    )
+    .expect("positive capacities")
+}
+
+fn f64_instance(caps: &[i64], demands: &[Vec<i64>]) -> Instance<f64> {
+    Instance::new(
+        caps.iter().map(|&c| c as f64).collect(),
+        demands
+            .iter()
+            .map(|row| row.iter().map(|&d| d as f64).collect())
+            .collect(),
+    )
+    .expect("positive capacities")
+}
+
+fn aggregates_match<S: Scalar>(alloc: &Allocation<S>, reference: &[S]) -> bool {
+    (0..alloc.n_jobs()).all(|j| alloc.aggregate(j).approx_eq(reference[j]))
+}
+
+/// Feasibility + lex-optimality proved ⟺ the aggregates are the AMF
+/// aggregates (the envy/SI certificates judge other properties and are
+/// excluded from this equivalence on purpose).
+fn check_bidirectional<S: Scalar>(inst: &Instance<S>, alloc: &Allocation<S>, mode: FairnessMode) {
+    let reference = reference_aggregates(inst, mode);
+    let report = audit(inst, alloc, mode);
+    let certified = report.feasibility.is_proved() && report.lex_optimality.is_proved();
+    assert_eq!(
+        certified,
+        aggregates_match(alloc, &reference),
+        "audit disagrees with reference: {} (aggregates {:?}, reference {:?})",
+        report.summary(),
+        alloc.aggregates(),
+        &reference
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Solver outputs always earn the full certificate, in both modes and
+    /// both scalar types.
+    #[test]
+    fn solver_outputs_are_always_certified((caps, demands) in random_shape()) {
+        for solver in [AmfSolver::new(), AmfSolver::enhanced()] {
+            let inst = rational_instance(&caps, &demands);
+            let (_, report) = solver.solve_audited(&inst);
+            prop_assert!(report.is_certified_amf(), "rational: {}", report.summary());
+
+            let inst = f64_instance(&caps, &demands);
+            let (_, report) = solver.solve_audited(&inst);
+            prop_assert!(report.is_certified_amf(), "f64: {}", report.summary());
+        }
+    }
+
+    /// The bidirectional cross-check against the brute-force reference, on
+    /// the solver and on three baseline policies (which are usually — but
+    /// not always — *not* AMF; the auditor must agree with the reference
+    /// either way).
+    #[test]
+    fn audit_verdict_matches_reference((caps, demands) in random_shape()) {
+        let inst = rational_instance(&caps, &demands);
+        let policies: [&dyn AllocationPolicy<Rational>; 4] = [
+            &AmfSolver::new(),
+            &EqualDivision,
+            &PerSiteMaxMin,
+            &ProportionalToDemand,
+        ];
+        for policy in policies {
+            let alloc = policy.allocate(&inst);
+            check_bidirectional(&inst, &alloc, FairnessMode::Plain);
+        }
+        let enhanced = AmfSolver::enhanced().allocate(&inst);
+        check_bidirectional(&inst, &enhanced, FairnessMode::Enhanced);
+    }
+
+    /// Perturbing one positive entry of a solver allocation downward breaks
+    /// the certificate (the allocation is no longer Pareto efficient, hence
+    /// not AMF), and the auditor notices.
+    #[test]
+    fn perturbed_solver_outputs_are_rejected(
+        (caps, demands) in random_shape(),
+        job_pick in 0usize..8,
+        site_pick in 0usize..8,
+    ) {
+        let inst = rational_instance(&caps, &demands);
+        let alloc = AmfSolver::new().allocate(&inst);
+        let mut split = alloc.split().to_vec();
+        let (n, m) = (split.len(), split[0].len());
+        let (j, s) = (job_pick % n, site_pick % m);
+        prop_assume!(split[j][s].is_positive());
+        split[j][s] /= Rational::from_int(2);
+        let perturbed = Allocation::from_split(split);
+        check_bidirectional(&inst, &perturbed, FairnessMode::Plain);
+        let report = audit(&inst, &perturbed, FairnessMode::Plain);
+        prop_assert!(!report.is_certified_amf());
+        prop_assert!(report.lex_optimality.is_violated() || report.pareto.is_violated());
+    }
+
+    /// Every proved lex-optimality certificate is independently
+    /// re-checkable: tight-set blames satisfy `Σ A_i = f(J)` exactly and
+    /// name only saturated sites.
+    #[test]
+    fn tight_set_witnesses_recheck((caps, demands) in random_shape()) {
+        let inst = rational_instance(&caps, &demands);
+        let alloc = AmfSolver::new().allocate(&inst);
+        let cert = lex_optimality_cert(&inst, &alloc, FairnessMode::Plain);
+        let blames = cert.witness().expect("solver output certifies");
+        prop_assert_eq!(blames.len(), inst.n_jobs());
+        for blame in blames {
+            if let amf_audit::JobBlame::TightSet { jobs, sites, rank, member_total, .. } = blame {
+                let mut members = vec![false; inst.n_jobs()];
+                for &i in jobs {
+                    members[i] = true;
+                }
+                prop_assert_eq!(inst.rank(&members), *rank);
+                prop_assert_eq!(rank, member_total);
+                for &s in sites {
+                    prop_assert_eq!(alloc.site_usage(s), inst.capacity(s));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn report_serializes_to_json() {
+    let inst = f64_instance(&[10, 4], &[vec![6, 0], vec![6, 4]]);
+    let (_, report) = AmfSolver::new().solve_audited(&inst);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    assert!(json.contains("\"feasibility\""));
+    assert!(json.contains("\"Proved\""));
+    assert!(json.contains("\"TightSet\"") || json.contains("\"DemandCapped\""));
+    // The serialized verdict fields survive a parse as generic JSON.
+    let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let entries = value.as_obj().expect("report serializes as an object");
+    assert_eq!(serde::field(entries, "n_jobs").as_f64(), Some(2.0));
+}
+
+#[test]
+fn deserialized_allocation_with_forged_aggregate_is_caught() {
+    // `Allocation`'s fields arrive independently from JSON, so a forged
+    // aggregate that is not the sum of its split row must be flagged.
+    let inst = f64_instance(&[10], &[vec![10], vec![10]]);
+    let forged: Allocation<f64> =
+        serde_json::from_str(r#"{"split": [[4.0], [5.0]], "aggregates": [9.0, 5.0]}"#)
+            .expect("shape is valid");
+    let report = audit(&inst, &forged, FairnessMode::Plain);
+    let violations = report.feasibility.counterexample().expect("must violate");
+    assert!(violations.iter().any(|v| matches!(
+        v,
+        amf_audit::FeasibilityViolation::AggregateMismatch { job: 0, .. }
+    )));
+}
+
+#[test]
+fn unevaluated_certificates_serialize_with_reason() {
+    let inst = f64_instance(&[10], &[vec![10], vec![10]]);
+    let bad = Allocation::from_split(vec![vec![8.0], vec![8.0]]);
+    let report: AuditReport<f64> = audit(&inst, &bad, FairnessMode::Plain);
+    assert!(matches!(report.pareto, Certificate::Unevaluated { .. }));
+    let json = serde_json::to_string(&report).expect("serializes");
+    assert!(json.contains("allocation is infeasible"));
+}

@@ -6,7 +6,9 @@
 
 use crate::{zipf_sweep, ExpContext};
 use amf_core::{AllocationPolicy, AmfSolver, EqualDivision, PerSiteMaxMin, ProportionalToDemand};
-use amf_metrics::{coefficient_of_variation, fmt4, jain_index, min_max_ratio, min_share, Cdf, Chart, Table};
+use amf_metrics::{
+    coefficient_of_variation, fmt4, jain_index, min_max_ratio, min_share, Cdf, Chart, Table,
+};
 use rayon::prelude::*;
 
 /// Parameters for E1.
@@ -176,7 +178,10 @@ pub fn alloc_cdf(ctx: &ExpContext, params: &CdfParams) -> Table {
         &["policy", "allocation", "cdf"],
     );
     let cases: Vec<(&str, Vec<f64>)> = vec![
-        ("amf", AmfSolver::new().allocate(&inst).aggregates().to_vec()),
+        (
+            "amf",
+            AmfSolver::new().allocate(&inst).aggregates().to_vec(),
+        ),
         (
             "per-site-max-min",
             PerSiteMaxMin.allocate(&inst).aggregates().to_vec(),

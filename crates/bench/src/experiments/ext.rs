@@ -70,7 +70,13 @@ pub fn weighted_fairness(ctx: &ExpContext, params: &WeightedParams) -> Table {
     let mut count = vec![0usize; classes.len()];
     for seed in 0..params.seeds {
         // Elastic-style contention so weights actually bind.
-        let base = super::skewed_workload(1.0, params.n_jobs, params.n_sites, params.n_sites.min(4), seed);
+        let base = super::skewed_workload(
+            1.0,
+            params.n_jobs,
+            params.n_sites,
+            params.n_sites.min(4),
+            seed,
+        );
         let unweighted = base.instance();
         let weights: Vec<f64> = (0..params.n_jobs)
             .map(|j| classes[j % classes.len()])
@@ -166,8 +172,7 @@ pub fn si_price(ctx: &ExpContext, params: &SiPriceParams) -> Table {
         let mut jain_e = 0.0;
         let mut counted = 0usize;
         for trial in 0..params.trials {
-            let mut rng =
-                StdRng::seed_from_u64(params.seed ^ (trial as u64).wrapping_mul(0xA5A5));
+            let mut rng = StdRng::seed_from_u64(params.seed ^ (trial as u64).wrapping_mul(0xA5A5));
             let n = rng.gen_range(2..=params.max_jobs.max(2));
             let m = rng.gen_range(2..=params.max_sites.max(2));
             let inst: Instance<f64> = Instance::new(
@@ -393,7 +398,9 @@ pub fn slowdown_fairness(ctx: &ExpContext, params: &SlowdownParams) -> Table {
                 max: params.mean_work * 40.0,
             },
             total_parallelism: SizeDist::Constant { value: 30.0 },
-            skew: SiteSkew::Zipf { alpha: params.alpha },
+            skew: SiteSkew::Zipf {
+                alpha: params.alpha,
+            },
             placement: SitePlacement::Popularity { gamma: 1.0 },
             demand_model: DemandModel::ElasticPerSite,
         }

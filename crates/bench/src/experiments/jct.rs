@@ -115,9 +115,7 @@ pub fn jct_vs_skew(ctx: &ExpContext, params: &JctSkewParams) -> Table {
             contenders()
                 .iter()
                 .enumerate()
-                .map(|(c, (name, _, _))| {
-                    (alpha, *name, acc[c].map(|v| v / params.seeds as f64))
-                })
+                .map(|(c, (name, _, _))| (alpha, *name, acc[c].map(|v| v / params.seeds as f64)))
                 .collect::<Vec<_>>()
         })
         .collect();
@@ -189,12 +187,7 @@ impl JctScalingParams {
     }
 }
 
-fn scaling_row(
-    n_jobs: usize,
-    n_sites: usize,
-    alpha: f64,
-    seeds: u64,
-) -> Vec<f64> {
+fn scaling_row(n_jobs: usize, n_sites: usize, alpha: f64, seeds: u64) -> Vec<f64> {
     let list = contenders();
     let mut mean = vec![0.0f64; list.len()];
     for seed in 0..seeds {
@@ -222,7 +215,12 @@ pub fn jct_scaling(ctx: &ExpContext, params: &JctScalingParams) -> (Table, Table
     let site_rows: Vec<(usize, Vec<f64>)> = params
         .site_counts
         .par_iter()
-        .map(|&m| (m, scaling_row(params.n_jobs_fixed, m, params.alpha, params.seeds)))
+        .map(|&m| {
+            (
+                m,
+                scaling_row(params.n_jobs_fixed, m, params.alpha, params.seeds),
+            )
+        })
         .collect();
     for (m, mean) in site_rows {
         let mut cells = vec![m.to_string()];
@@ -236,7 +234,12 @@ pub fn jct_scaling(ctx: &ExpContext, params: &JctScalingParams) -> (Table, Table
     let job_rows: Vec<(usize, Vec<f64>)> = params
         .job_counts
         .par_iter()
-        .map(|&n| (n, scaling_row(n, params.n_sites_fixed, params.alpha, params.seeds)))
+        .map(|&n| {
+            (
+                n,
+                scaling_row(n, params.n_sites_fixed, params.alpha, params.seeds),
+            )
+        })
         .collect();
     for (n, mean) in job_rows {
         let mut cells = vec![n.to_string()];

@@ -7,7 +7,9 @@ pub mod online;
 pub mod perf;
 pub mod props;
 
-use amf_workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, Workload, WorkloadConfig};
+use amf_workload::{
+    CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, Workload, WorkloadConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -104,9 +104,11 @@ pub fn online_load(ctx: &ExpContext, params: &OnlineParams) -> Table {
                         mean: params.mean_work,
                     },
                     total_parallelism: SizeDist::Constant { value: 30.0 },
-                    skew: SiteSkew::Zipf { alpha: params.alpha },
+                    skew: SiteSkew::Zipf {
+                        alpha: params.alpha,
+                    },
                     placement: SitePlacement::Popularity { gamma: 1.0 },
-        demand_model: DemandModel::ElasticPerSite,
+                    demand_model: DemandModel::ElasticPerSite,
                 }
                 .generate(&mut rng);
                 let total_capacity = 100.0 * params.n_sites as f64;

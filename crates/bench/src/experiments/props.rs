@@ -220,19 +220,26 @@ pub fn sharing_incentive(ctx: &ExpContext, params: &SharingIncentiveParams) -> T
     ctx.log(&format!("[E6] sharing incentive shortfalls: {params:?}"));
     let mut table = Table::new(
         "E6: sharing-incentive shortfalls vs demand sparsity",
-        &["sparsity", "policy", "frac_jobs_below", "mean_rel_shortfall", "max_rel_shortfall"],
+        &[
+            "sparsity",
+            "policy",
+            "frac_jobs_below",
+            "mean_rel_shortfall",
+            "max_rel_shortfall",
+        ],
     );
     for &sparsity in &params.sparsity_levels {
-        for (name, solver) in [("amf", AmfSolver::new()), ("amf-enhanced", AmfSolver::enhanced())]
-        {
+        for (name, solver) in [
+            ("amf", AmfSolver::new()),
+            ("amf-enhanced", AmfSolver::enhanced()),
+        ] {
             let mut below = 0usize;
             let mut total_jobs = 0usize;
             let mut sum_rel = 0.0f64;
             let mut max_rel = 0.0f64;
             for trial in 0..params.trials {
-                let mut rng = StdRng::seed_from_u64(
-                    params.seed ^ (trial as u64).wrapping_mul(0x51_7C),
-                );
+                let mut rng =
+                    StdRng::seed_from_u64(params.seed ^ (trial as u64).wrapping_mul(0x51_7C));
                 let n = rng.gen_range(2..=params.max_jobs.max(2));
                 let m = rng.gen_range(2..=params.max_sites.max(2));
                 let inst: Instance<f64> = Instance::new(
@@ -270,7 +277,11 @@ pub fn sharing_incentive(ctx: &ExpContext, params: &SharingIncentiveParams) -> T
                 format!("{sparsity:.1}"),
                 name.to_owned(),
                 fmt4(below as f64 / total_jobs as f64),
-                fmt4(if below > 0 { sum_rel / below as f64 } else { 0.0 }),
+                fmt4(if below > 0 {
+                    sum_rel / below as f64
+                } else {
+                    0.0
+                }),
                 fmt4(max_rel),
             ]);
         }

@@ -14,6 +14,8 @@ USAGE:
     amf simulate [--policy P] [--jct-addon] [--engine fluid|slots]
                  < trace.json
     amf check    < trace.json                   # fairness properties of AMF
+    amf audit    [--policy P] [--mode plain|enhanced] [--json] < trace.json
+                 # certificate-based audit of the policy's allocation
     amf drf      < pool.json                    # multi-resource DRF solve
                  # pool.json: {\"capacities\": [9, 18],
                  #             \"jobs\": [{\"demand\": [1, 4],
@@ -68,11 +70,25 @@ pub struct SimulateParams {
     pub engine: String,
 }
 
+/// Parameters of `amf audit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditParams {
+    /// Policy whose allocation is audited.
+    pub policy: String,
+    /// Fairness objective audited against ("plain"/"enhanced"; None =
+    /// follow the policy).
+    pub mode: Option<String>,
+    /// Emit the full report as JSON instead of the text summary.
+    pub json: bool,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `amf drf` — solve a multi-resource DRF pool from JSON on stdin.
     Drf,
+    /// `amf audit`.
+    Audit(AuditParams),
     /// `amf gen`.
     Gen(GenParams),
     /// `amf solve`.
@@ -151,8 +167,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             dot: argv[1..].iter().any(|a| a == "--dot"),
         })),
         Some("simulate") => {
-            let engine =
-                value_of(&argv[1..], "--engine")?.unwrap_or_else(|| "fluid".into());
+            let engine = value_of(&argv[1..], "--engine")?.unwrap_or_else(|| "fluid".into());
             if engine != "fluid" && engine != "slots" {
                 return Err(ParseError(format!("unknown engine: {engine}")));
             }
@@ -163,6 +178,19 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             }))
         }
         Some("check") => Ok(Command::Check),
+        Some("audit") => {
+            let mode = value_of(&argv[1..], "--mode")?;
+            if let Some(m) = &mode {
+                if m != "plain" && m != "enhanced" {
+                    return Err(ParseError(format!("unknown audit mode: {m}")));
+                }
+            }
+            Ok(Command::Audit(AuditParams {
+                policy: value_of(&argv[1..], "--policy")?.unwrap_or_else(|| "amf".into()),
+                mode,
+                json: argv[1..].iter().any(|a| a == "--json"),
+            }))
+        }
         Some("drf") => Ok(Command::Drf),
         Some(other) => Err(ParseError(format!("unknown command: {other}"))),
     }
@@ -195,8 +223,19 @@ mod tests {
     #[test]
     fn parses_gen_with_all_flags() {
         let cmd = parse(&sv(&[
-            "gen", "--jobs", "5", "--sites", "2", "--alpha", "1.5", "--sites-per-job", "2",
-            "--seed", "9", "--load", "0.7",
+            "gen",
+            "--jobs",
+            "5",
+            "--sites",
+            "2",
+            "--alpha",
+            "1.5",
+            "--sites-per-job",
+            "2",
+            "--seed",
+            "9",
+            "--load",
+            "0.7",
         ]))
         .unwrap();
         match cmd {
@@ -239,7 +278,13 @@ mod tests {
             })
         );
         assert_eq!(
-            parse(&sv(&["simulate", "--policy", "per-site-max-min", "--jct-addon"])).unwrap(),
+            parse(&sv(&[
+                "simulate",
+                "--policy",
+                "per-site-max-min",
+                "--jct-addon"
+            ]))
+            .unwrap(),
             Command::Simulate(SimulateParams {
                 policy: "per-site-max-min".into(),
                 jct_addon: true,
@@ -255,6 +300,35 @@ mod tests {
             })
         );
         assert!(parse(&sv(&["simulate", "--engine", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn parses_audit() {
+        assert_eq!(
+            parse(&sv(&["audit"])).unwrap(),
+            Command::Audit(AuditParams {
+                policy: "amf".into(),
+                mode: None,
+                json: false,
+            })
+        );
+        assert_eq!(
+            parse(&sv(&[
+                "audit",
+                "--policy",
+                "equal-division",
+                "--mode",
+                "enhanced",
+                "--json"
+            ]))
+            .unwrap(),
+            Command::Audit(AuditParams {
+                policy: "equal-division".into(),
+                mode: Some("enhanced".into()),
+                json: true,
+            })
+        );
+        assert!(parse(&sv(&["audit", "--mode", "strict"])).is_err());
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Command implementations.
 
-use crate::args::{GenParams, SimulateParams, SolveParams};
-use amf_core::properties::{
-    is_envy_free, is_pareto_efficient, satisfies_sharing_incentive,
-};
+use crate::args::{AuditParams, GenParams, SimulateParams, SolveParams};
+use amf_core::properties::{is_envy_free, is_pareto_efficient, satisfies_sharing_incentive};
 use amf_core::{
     AllocationPolicy, AmfSolver, EqualDivision, Instance, PerSiteMaxMin, ProportionalToDemand,
 };
@@ -90,11 +88,7 @@ pub fn solve(p: &SolveParams, stdin: &str) -> Result<String, String> {
         let solver = match p.policy.as_str() {
             "amf" => AmfSolver::new(),
             "amf-enhanced" => AmfSolver::enhanced(),
-            other => {
-                return Err(format!(
-                    "--explain requires an AMF policy (got {other})"
-                ))
-            }
+            other => return Err(format!("--explain requires an AMF policy (got {other})")),
         };
         let out = solver.solve(&inst);
         explanation.push_str("freeze rounds (level: jobs frozen):\n");
@@ -196,7 +190,10 @@ pub fn check(stdin: &str) -> Result<String, String> {
     let trace = read_trace(stdin)?;
     let inst: Instance<f64> = trace.workload().instance();
     let mut out = String::new();
-    for (name, solver) in [("amf", AmfSolver::new()), ("amf-enhanced", AmfSolver::enhanced())] {
+    for (name, solver) in [
+        ("amf", AmfSolver::new()),
+        ("amf-enhanced", AmfSolver::enhanced()),
+    ] {
         let alloc = solver.allocate(&inst);
         out.push_str(&format!(
             "{name}: feasible={} pareto_efficient={} envy_free={} sharing_incentive={}\n",
@@ -205,6 +202,77 @@ pub fn check(stdin: &str) -> Result<String, String> {
             is_envy_free(&inst, &alloc),
             satisfies_sharing_incentive(&inst, &alloc),
         ));
+    }
+    Ok(out)
+}
+
+/// `amf audit`.
+pub fn audit_cmd(p: &AuditParams, stdin: &str) -> Result<String, String> {
+    let trace = read_trace(stdin)?;
+    let policy = lookup_policy(&p.policy)?;
+    let inst: Instance<f64> = trace.workload().instance();
+    let alloc = policy.allocate(&inst);
+    let mode = match p.mode.as_deref() {
+        Some("enhanced") => amf_core::FairnessMode::Enhanced,
+        Some(_) => amf_core::FairnessMode::Plain,
+        // No explicit mode: audit the policy against its own objective.
+        None if p.policy == "amf-enhanced" => amf_core::FairnessMode::Enhanced,
+        None => amf_core::FairnessMode::Plain,
+    };
+    let report = amf_audit::audit(&inst, &alloc, mode);
+    if p.json {
+        return serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("cannot serialize report: {e}"));
+    }
+    let mut out = String::new();
+    out.push_str(&format!("policy = {}\n", policy.name()));
+    out.push_str(&report.summary());
+    out.push('\n');
+    for (name, status, detail) in [
+        (
+            "feasibility",
+            report.feasibility.status(),
+            report
+                .feasibility
+                .counterexample()
+                .map(|c| format!("{c:?}")),
+        ),
+        (
+            "lex_optimality",
+            report.lex_optimality.status(),
+            report
+                .lex_optimality
+                .counterexample()
+                .map(|c| format!("{c:?}")),
+        ),
+        (
+            "pareto",
+            report.pareto.status(),
+            report.pareto.counterexample().map(|c| format!("{c:?}")),
+        ),
+        (
+            "envy_freeness",
+            report.envy_freeness.status(),
+            report
+                .envy_freeness
+                .counterexample()
+                .map(|c| format!("{c:?}")),
+        ),
+        (
+            "sharing_incentive",
+            report.sharing_incentive.status(),
+            report
+                .sharing_incentive
+                .counterexample()
+                .map(|c| format!("{c:?}")),
+        ),
+    ] {
+        match detail {
+            Some(counterexample) => {
+                out.push_str(&format!("  {name}: {status}  {counterexample}\n"))
+            }
+            None => out.push_str(&format!("  {name}: {status}\n")),
+        }
     }
     Ok(out)
 }
@@ -220,10 +288,7 @@ pub fn drf(stdin: &str) -> Result<String, String> {
         serde_json::from_str(stdin).map_err(|e| format!("cannot parse pool JSON: {e}"))?;
     let pool = amf_drf::DrfPool::new(input.capacities, input.jobs).map_err(|e| e.to_string())?;
     let alloc = pool.solve();
-    let mut table = Table::new(
-        "DRF allocation",
-        &["job", "tasks", "dominant_share"],
-    );
+    let mut table = Table::new("DRF allocation", &["job", "tasks", "dominant_share"]);
     for j in 0..pool.n_jobs() {
         table.row(vec![
             j.to_string(),
@@ -303,7 +368,12 @@ mod tests {
         .unwrap();
         assert!(out.contains("jain ="));
         // 5 job rows.
-        assert!(out.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count() >= 5);
+        assert!(
+            out.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count()
+                >= 5
+        );
     }
 
     #[test]
@@ -404,6 +474,51 @@ mod tests {
         assert!(out.contains("amf:"));
         assert!(out.contains("amf-enhanced:"));
         assert!(out.contains("sharing_incentive="));
+    }
+
+    #[test]
+    fn audit_certifies_amf_and_flags_baselines() {
+        let json = generate(&gen_params()).unwrap();
+        let certified = audit_cmd(
+            &AuditParams {
+                policy: "amf".into(),
+                mode: None,
+                json: false,
+            },
+            &json,
+        )
+        .unwrap();
+        assert!(certified.contains("=> CERTIFIED"), "{certified}");
+        assert!(certified.contains("lex_optimality: proved"));
+        // Equal division wastes capacity on this trace; the auditor must
+        // refuse to certify it and name a violation.
+        let rejected = audit_cmd(
+            &AuditParams {
+                policy: "equal-division".into(),
+                mode: None,
+                json: false,
+            },
+            &json,
+        )
+        .unwrap();
+        assert!(rejected.contains("NOT CERTIFIED"), "{rejected}");
+    }
+
+    #[test]
+    fn audit_json_emits_the_full_report() {
+        let json = generate(&gen_params()).unwrap();
+        let out = audit_cmd(
+            &AuditParams {
+                policy: "amf-enhanced".into(),
+                mode: None,
+                json: true,
+            },
+            &json,
+        )
+        .unwrap();
+        assert!(out.contains("\"mode\""));
+        assert!(out.contains("Enhanced"));
+        assert!(out.contains("\"feasibility\""));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod args;
 mod commands;
@@ -29,6 +29,7 @@ pub fn run(argv: &[String], stdin: &str) -> Result<String, String> {
         Command::Solve(p) => commands::solve(&p, stdin),
         Command::Simulate(p) => commands::simulate_cmd(&p, stdin),
         Command::Check => commands::check(stdin),
+        Command::Audit(p) => commands::audit_cmd(&p, stdin),
         Command::Drf => commands::drf(stdin),
     }
 }
@@ -66,6 +67,9 @@ mod tests {
 
         let checked = run(&sv(&["check"]), &trace).unwrap();
         assert!(checked.contains("pareto_efficient"), "{checked}");
+
+        let audited = run(&sv(&["audit"]), &trace).unwrap();
+        assert!(audited.contains("=> CERTIFIED"), "{audited}");
     }
 
     #[test]

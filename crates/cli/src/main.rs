@@ -8,7 +8,7 @@ fn main() {
     // not a terminal-less pipe read of nothing: read lazily.
     let needs_stdin = matches!(
         argv.first().map(String::as_str),
-        Some("solve") | Some("simulate") | Some("check") | Some("drf")
+        Some("solve") | Some("simulate") | Some("check") | Some("audit") | Some("drf")
     );
     let mut stdin = String::new();
     if needs_stdin {

@@ -97,11 +97,7 @@ mod tests {
     use crate::solver::AmfSolver;
 
     fn demo() -> Instance<f64> {
-        Instance::new(
-            vec![6.0, 2.0],
-            vec![vec![6.0, 0.0], vec![6.0, 2.0]],
-        )
-        .unwrap()
+        Instance::new(vec![6.0, 2.0], vec![vec![6.0, 0.0], vec![6.0, 2.0]]).unwrap()
     }
 
     #[test]

@@ -55,8 +55,7 @@
 // where the row/column structure is the point.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
-
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod baselines;
 pub mod dot;
@@ -73,5 +72,7 @@ pub use dot::to_dot;
 pub use model::{Allocation, Instance, ModelError};
 pub use policy::AllocationPolicy;
 pub use reference::{reference_aggregates, MAX_REFERENCE_JOBS};
-pub use solver::{AmfSolver, BottleneckStrategy, FairnessMode, FreezeReason, FreezeRound, SolveOutput, SolveStats};
+pub use solver::{
+    AmfSolver, BottleneckStrategy, FairnessMode, FreezeReason, FreezeRound, SolveOutput, SolveStats,
+};
 pub use water::{water_fill, water_fill_weighted};

@@ -412,11 +412,7 @@ mod tests {
         // f(A) + f(B) >= f(A∪B) + f(A∩B) over all pairs of subsets.
         for a in 0u8..8 {
             for b in 0u8..8 {
-                let set = |mask: u8| {
-                    (0..3)
-                        .map(|j| mask & (1 << j) != 0)
-                        .collect::<Vec<bool>>()
-                };
+                let set = |mask: u8| (0..3).map(|j| mask & (1 << j) != 0).collect::<Vec<bool>>();
                 let fa = inst.rank(&set(a));
                 let fb = inst.rank(&set(b));
                 let fu = inst.rank(&set(a | b));
@@ -438,39 +434,23 @@ mod tests {
     #[test]
     fn allocation_aggregates_and_feasibility() {
         let inst = demo();
-        let alloc = Allocation::from_split(vec![
-            vec![5.0, 0.0],
-            vec![4.0, 2.0],
-            vec![1.0, 2.0],
-        ]);
+        let alloc = Allocation::from_split(vec![vec![5.0, 0.0], vec![4.0, 2.0], vec![1.0, 2.0]]);
         assert_eq!(alloc.aggregate(0), 5.0);
         assert_eq!(alloc.aggregate(1), 6.0);
         assert_eq!(alloc.total(), 14.0);
         assert_eq!(alloc.site_usage(0), 10.0);
         assert!(alloc.is_feasible(&inst));
         // Exceeding a demand cap is infeasible.
-        let bad = Allocation::from_split(vec![
-            vec![7.0, 0.0],
-            vec![1.0, 2.0],
-            vec![1.0, 2.0],
-        ]);
+        let bad = Allocation::from_split(vec![vec![7.0, 0.0], vec![1.0, 2.0], vec![1.0, 2.0]]);
         assert!(!bad.is_feasible(&inst));
         // Exceeding a site capacity is infeasible.
-        let bad2 = Allocation::from_split(vec![
-            vec![6.0, 0.0],
-            vec![5.0, 2.0],
-            vec![0.0, 2.0],
-        ]);
+        let bad2 = Allocation::from_split(vec![vec![6.0, 0.0], vec![5.0, 2.0], vec![0.0, 2.0]]);
         assert!(!bad2.is_feasible(&inst));
     }
 
     #[test]
     fn exact_instance_round_trip() {
-        let inst = Instance::new(
-            vec![r(10, 1)],
-            vec![vec![r(7, 2)], vec![r(9, 4)]],
-        )
-        .unwrap();
+        let inst = Instance::new(vec![r(10, 1)], vec![vec![r(7, 2)], vec![r(9, 4)]]).unwrap();
         assert_eq!(inst.total_demand(0), r(7, 2));
         let as_f64 = inst.map(|v| v.to_f64());
         assert!((as_f64.demand(0, 0) - 3.5).abs() < 1e-15);

@@ -46,9 +46,8 @@ pub fn is_envy_free<S: Scalar>(inst: &Instance<S>, alloc: &Allocation<S>) -> boo
             if j == k {
                 continue;
             }
-            let value = sum(
-                (0..inst.n_sites()).map(|s| min2(alloc.at(k, s), inst.demand(j, s))),
-            ) / inst.weight(k);
+            let value = sum((0..inst.n_sites()).map(|s| min2(alloc.at(k, s), inst.demand(j, s))))
+                / inst.weight(k);
             if value.definitely_gt(own) {
                 return false;
             }
@@ -148,9 +147,7 @@ pub fn probe_strategy_proofness<S: Scalar, P: AllocationPolicy<S> + ?Sized>(
         .with_job_demands(j, lie)
         .expect("probe_strategy_proofness: invalid lie");
     let lied_alloc = policy.allocate(&lied_inst);
-    let useful = sum(
-        (0..inst.n_sites()).map(|s| min2(lied_alloc.at(j, s), inst.demand(j, s))),
-    );
+    let useful = sum((0..inst.n_sites()).map(|s| min2(lied_alloc.at(j, s), inst.demand(j, s))));
     StrategyProbe {
         truthful,
         useful_when_lying: useful,
@@ -303,9 +300,7 @@ mod tests {
             .unwrap();
             let liar = rng.gen_range(0..n);
             // Understate demands (halve, floor at 0).
-            let lie: Vec<Rational> = (0..m)
-                .map(|s| inst.demand(liar, s) * r(1, 2))
-                .collect();
+            let lie: Vec<Rational> = (0..m).map(|s| inst.demand(liar, s) * r(1, 2)).collect();
             let probe = probe_strategy_proofness(&inst, liar, lie, &solver);
             assert!(!probe.lie_helped());
         }
@@ -322,18 +317,14 @@ mod tests {
         let solved = AmfSolver::new().allocate(&inst);
         assert!(is_amf(&inst, &solved));
         // A *different* split with the same aggregates also verifies.
-        let alt = crate::model::Allocation::from_split(vec![
-            vec![ri(4), ri(0)],
-            vec![ri(2), ri(2)],
-        ]);
+        let alt =
+            crate::model::Allocation::from_split(vec![vec![ri(4), ri(0)], vec![ri(2), ri(2)]]);
         assert!(is_amf(&inst, &alt));
         // The per-site baseline's aggregates (3, 5) do not.
         assert!(!is_amf(&inst, &PerSiteMaxMin.allocate(&inst)));
         // An infeasible matrix does not.
-        let bad = crate::model::Allocation::from_split(vec![
-            vec![ri(7), ri(0)],
-            vec![ri(1), ri(2)],
-        ]);
+        let bad =
+            crate::model::Allocation::from_split(vec![vec![ri(7), ri(0)], vec![ri(1), ri(2)]]);
         assert!(!is_amf(&inst, &bad));
     }
 
@@ -368,8 +359,7 @@ mod tests {
     #[test]
     fn probe_reports_truthful_aggregate() {
         let inst = si_violation_instance();
-        let probe =
-            probe_strategy_proofness(&inst, 0, vec![ri(5), ri(5)], &AmfSolver::new());
+        let probe = probe_strategy_proofness(&inst, 0, vec![ri(5), ri(5)], &AmfSolver::new());
         // "Lying" with the truth changes nothing.
         assert_eq!(probe.truthful, probe.useful_when_lying);
     }

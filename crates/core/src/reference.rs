@@ -49,7 +49,13 @@ pub fn reference_aggregates<S: Scalar>(inst: &Instance<S>, mode: FairnessMode) -
 
     let mut frozen: Vec<Option<S>> = caps
         .iter()
-        .map(|c| if c.ceil.is_positive() { None } else { Some(S::ZERO) })
+        .map(|c| {
+            if c.ceil.is_positive() {
+                None
+            } else {
+                Some(S::ZERO)
+            }
+        })
         .collect();
 
     while frozen.iter().any(Option::is_none) {
@@ -130,7 +136,10 @@ pub fn reference_aggregates<S: Scalar>(inst: &Instance<S>, mode: FairnessMode) -
         );
     }
 
-    frozen.into_iter().map(|a| a.unwrap()).collect()
+    frozen
+        .into_iter()
+        .map(|a| a.expect("loop exits only when every job is frozen"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -168,8 +177,7 @@ mod tests {
         for trial in 0..60 {
             let n = rng.gen_range(1..6usize);
             let m = rng.gen_range(1..4usize);
-            let capacities: Vec<Rational> =
-                (0..m).map(|_| ri(rng.gen_range(0..12))).collect();
+            let capacities: Vec<Rational> = (0..m).map(|_| ri(rng.gen_range(0..12))).collect();
             let demands: Vec<Vec<Rational>> = (0..n)
                 .map(|_| (0..m).map(|_| ri(rng.gen_range(0..10))).collect())
                 .collect();
@@ -200,8 +208,7 @@ mod tests {
         for _ in 0..30 {
             let n = rng.gen_range(1..5usize);
             let m = rng.gen_range(1..4usize);
-            let capacities: Vec<Rational> =
-                (0..m).map(|_| ri(rng.gen_range(1..10))).collect();
+            let capacities: Vec<Rational> = (0..m).map(|_| ri(rng.gen_range(1..10))).collect();
             let demands: Vec<Vec<Rational>> = (0..n)
                 .map(|_| (0..m).map(|_| ri(rng.gen_range(0..8))).collect())
                 .collect();

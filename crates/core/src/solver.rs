@@ -213,7 +213,13 @@ impl AmfSolver {
         // `None` = active, `Some(a)` = frozen at aggregate `a`.
         let mut frozen: Vec<Option<S>> = caps
             .iter()
-            .map(|c| if c.ceil.is_positive() { None } else { Some(S::ZERO) })
+            .map(|c| {
+                if c.ceil.is_positive() {
+                    None
+                } else {
+                    Some(S::ZERO)
+                }
+            })
             .collect();
 
         let mut net = AllocationNetwork::new(inst.demands(), inst.capacities());
@@ -346,12 +352,20 @@ impl AmfSolver {
         }
         stats.max_flows += 1;
         let total = net.run_max_flow();
-        let expected = sum(frozen.iter().map(|a| a.unwrap()));
+        let expected = sum(frozen.iter().map(|a| a.expect("all jobs frozen")));
         debug_assert!(
             close_rel(total, expected),
             "final split does not realize the frozen aggregates"
         );
         let allocation = Allocation::from_split(net.split_matrix());
+        // Self-audit in debug builds: the flow network guarantees these by
+        // construction, so a failure here means the network itself is bad.
+        // (The full certificate auditor lives in `amf-audit`, which sits
+        // above this crate; see `SolverAuditExt::solve_audited`.)
+        debug_assert!(
+            allocation.is_feasible(inst),
+            "solver emitted an infeasible allocation"
+        );
 
         SolveOutput {
             allocation,
@@ -455,11 +469,7 @@ mod tests {
     #[test]
     fn single_site_matches_water_filling() {
         // AMF on one site must equal conventional max-min fairness.
-        let inst = Instance::new(
-            vec![7.0],
-            vec![vec![1.0], vec![10.0], vec![10.0]],
-        )
-        .unwrap();
+        let inst = Instance::new(vec![7.0], vec![vec![1.0], vec![10.0], vec![10.0]]).unwrap();
         let out = AmfSolver::new().solve(&inst);
         let a = out.allocation.aggregates();
         assert!((a[0] - 1.0).abs() < 1e-9);
@@ -472,11 +482,7 @@ mod tests {
         // The motivating example: job 0 is locked to site 0, job 1 can use
         // both. Per-site fairness would give job 1 an aggregate of 3+2=5
         // and job 0 only 3; AMF equalizes at 4/4.
-        let inst = Instance::new(
-            vec![6.0, 2.0],
-            vec![vec![6.0, 0.0], vec![6.0, 2.0]],
-        )
-        .unwrap();
+        let inst = Instance::new(vec![6.0, 2.0], vec![vec![6.0, 0.0], vec![6.0, 2.0]]).unwrap();
         let out = AmfSolver::new().solve(&inst);
         assert!((out.allocation.aggregate(0) - 4.0).abs() < 1e-9);
         assert!((out.allocation.aggregate(1) - 4.0).abs() < 1e-9);
@@ -485,11 +491,7 @@ mod tests {
 
     #[test]
     fn exact_rational_three_jobs_share_one_site() {
-        let inst = Instance::new(
-            vec![ri(7)],
-            vec![vec![ri(7)], vec![ri(7)], vec![ri(7)]],
-        )
-        .unwrap();
+        let inst = Instance::new(vec![ri(7)], vec![vec![ri(7)], vec![ri(7)], vec![ri(7)]]).unwrap();
         let out = AmfSolver::new().solve(&inst);
         for j in 0..3 {
             assert_eq!(out.allocation.aggregate(j), r(7, 3));
@@ -499,11 +501,8 @@ mod tests {
     #[test]
     fn demand_capped_job_frees_capacity() {
         // Job 0 demands only 1; jobs 1,2 split the rest.
-        let inst = Instance::new(
-            vec![ri(10)],
-            vec![vec![ri(1)], vec![ri(10)], vec![ri(10)]],
-        )
-        .unwrap();
+        let inst =
+            Instance::new(vec![ri(10)], vec![vec![ri(1)], vec![ri(10)], vec![ri(10)]]).unwrap();
         let out = AmfSolver::new().solve(&inst);
         assert_eq!(out.allocation.aggregate(0), ri(1));
         assert_eq!(out.allocation.aggregate(1), r(9, 2));
@@ -574,11 +573,7 @@ mod tests {
         // search; here just verify floors hold in Enhanced mode.
         let inst = Instance::new(
             vec![ri(6), ri(6)],
-            vec![
-                vec![ri(6), ri(0)],
-                vec![ri(6), ri(6)],
-                vec![ri(6), ri(6)],
-            ],
+            vec![vec![ri(6), ri(0)], vec![ri(6), ri(6)], vec![ri(6), ri(6)]],
         )
         .unwrap();
         let out = AmfSolver::enhanced().solve(&inst);

@@ -1,0 +1,234 @@
+//! Certificate-based auditing of DRF allocations (the `audit` feature).
+//!
+//! DRF lives on a different model than AMF (task vectors over a
+//! multi-resource pool rather than a split matrix over sites), so the
+//! generic auditor in `amf-audit` does not apply directly — but the
+//! certificate *vocabulary* does. This module re-checks a
+//! [`DrfAllocation`] against its [`DrfPool`] and reports through the same
+//! [`Certificate`] type: `Proved` with a witness, or `Violated` with typed
+//! counterexamples.
+
+use crate::pool::{DrfAllocation, DrfPool};
+use crate::properties::{is_envy_free, is_pareto_efficient, satisfies_sharing_incentive};
+use amf_audit::Certificate;
+use amf_numeric::{sum, Scalar};
+use serde::Serialize;
+
+/// Witness that a DRF allocation is feasible and carries the DRF-paper
+/// properties.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DrfWitness<S> {
+    /// Remaining capacity of each resource.
+    pub resource_slack: Vec<S>,
+    /// The largest dominant share any job holds.
+    pub max_dominant_share: S,
+}
+
+/// One way a DRF allocation fails its audit.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum DrfViolation<S> {
+    /// A negative (fluid) task count.
+    NegativeTasks {
+        /// Offending job.
+        job: usize,
+        /// The negative task count.
+        tasks: S,
+    },
+    /// A job above its task cap.
+    TaskCapExceeded {
+        /// Offending job.
+        job: usize,
+        /// Allocated task count.
+        tasks: S,
+        /// The cap it exceeds.
+        max_tasks: S,
+    },
+    /// A resource used beyond its capacity.
+    CapacityExceeded {
+        /// Offending resource.
+        resource: usize,
+        /// Total usage.
+        used: S,
+        /// The capacity it exceeds.
+        capacity: S,
+    },
+    /// A stated usage/dominant-share field inconsistent with the task
+    /// counts it is derived from.
+    UsageMismatch {
+        /// Offending resource.
+        resource: usize,
+        /// Usage the allocation states.
+        stated: S,
+        /// Usage recomputed from task counts.
+        recomputed: S,
+    },
+    /// The allocation leaves a job that could still grow (fails the DRF
+    /// paper's Pareto-efficiency property).
+    NotParetoEfficient,
+    /// Some job envies another's bundle.
+    NotEnvyFree,
+    /// Some job falls short of its `1/n` entitlement.
+    NoSharingIncentive,
+}
+
+/// Re-check a DRF allocation: feasibility entry by entry, stated fields
+/// against recomputation, then the three DRF-paper properties.
+pub fn audit_drf<S: Scalar>(
+    pool: &DrfPool<S>,
+    alloc: &DrfAllocation<S>,
+) -> Certificate<DrfWitness<S>, Vec<DrfViolation<S>>> {
+    let n = pool.n_jobs();
+    let m = pool.n_resources();
+    let mut violations = Vec::new();
+
+    for j in 0..n {
+        let tasks = alloc.tasks[j];
+        if tasks.definitely_lt(S::ZERO) {
+            violations.push(DrfViolation::NegativeTasks { job: j, tasks });
+        }
+        if let Some(max_tasks) = pool.jobs()[j].max_tasks {
+            if tasks.definitely_gt(max_tasks) {
+                violations.push(DrfViolation::TaskCapExceeded {
+                    job: j,
+                    tasks,
+                    max_tasks,
+                });
+            }
+        }
+    }
+
+    let mut resource_slack = Vec::with_capacity(m);
+    for r in 0..m {
+        let recomputed = sum((0..n).map(|j| alloc.tasks[j] * pool.jobs()[j].demand[r]));
+        let stated = alloc.usage[r];
+        if !stated.approx_eq(recomputed) {
+            violations.push(DrfViolation::UsageMismatch {
+                resource: r,
+                stated,
+                recomputed,
+            });
+        }
+        let capacity = pool.capacities()[r];
+        if recomputed.definitely_gt(capacity) {
+            violations.push(DrfViolation::CapacityExceeded {
+                resource: r,
+                used: recomputed,
+                capacity,
+            });
+        }
+        resource_slack.push(capacity - recomputed);
+    }
+
+    if violations.is_empty() {
+        if !is_pareto_efficient(pool, alloc) {
+            violations.push(DrfViolation::NotParetoEfficient);
+        }
+        if !is_envy_free(pool, alloc) {
+            violations.push(DrfViolation::NotEnvyFree);
+        }
+        if !satisfies_sharing_incentive(pool, alloc) {
+            violations.push(DrfViolation::NoSharingIncentive);
+        }
+    }
+
+    if violations.is_empty() {
+        let mut max_dominant_share = S::ZERO;
+        for &share in &alloc.dominant_shares {
+            if share > max_dominant_share {
+                max_dominant_share = share;
+            }
+        }
+        Certificate::Proved {
+            witness: DrfWitness {
+                resource_slack,
+                max_dominant_share,
+            },
+        }
+    } else {
+        Certificate::Violated {
+            counterexample: violations,
+        }
+    }
+}
+
+impl<S: Scalar> DrfPool<S> {
+    /// Solve and audit in one call, returning the allocation alongside its
+    /// certificate.
+    pub fn solve_audited(
+        &self,
+    ) -> (
+        DrfAllocation<S>,
+        Certificate<DrfWitness<S>, Vec<DrfViolation<S>>>,
+    ) {
+        let alloc = self.solve();
+        let cert = audit_drf(self, &alloc);
+        (alloc, cert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::DrfJob;
+    use amf_numeric::Rational;
+
+    fn ri(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn nsdi_pool() -> DrfPool<Rational> {
+        // The DRF paper's running example: capacities (9 CPU, 18 GB),
+        // jobs demanding (1, 4) and (3, 1) per task.
+        DrfPool::new(
+            vec![ri(9), ri(18)],
+            vec![
+                DrfJob::new(vec![ri(1), ri(4)]),
+                DrfJob::new(vec![ri(3), ri(1)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solver_output_is_certified() {
+        let pool = nsdi_pool();
+        let (alloc, cert) = pool.solve_audited();
+        let witness = cert.witness().expect("DRF output must certify");
+        assert_eq!(alloc.tasks, vec![ri(3), ri(2)]);
+        assert_eq!(witness.max_dominant_share, Rational::new(2, 3));
+        // CPU slack: 9 - (3*1 + 2*3) = 0; memory: 18 - (3*4 + 2*1) = 4.
+        assert_eq!(witness.resource_slack, vec![ri(0), ri(4)]);
+    }
+
+    #[test]
+    fn overcommitted_tasks_are_flagged() {
+        let pool = nsdi_pool();
+        let alloc = DrfAllocation {
+            dominant_shares: vec![ri(1), ri(1)],
+            tasks: vec![ri(9), ri(2)],
+            // r1 truly uses 9*4 + 2*1 = 38; the stated 36 is a forgery.
+            usage: vec![ri(15), ri(36)],
+        };
+        let cert = audit_drf(&pool, &alloc);
+        let violations = cert.counterexample().expect("must violate");
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, DrfViolation::CapacityExceeded { resource: 0, .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, DrfViolation::UsageMismatch { .. })));
+    }
+
+    #[test]
+    fn giving_away_tasks_breaks_pareto() {
+        let pool = nsdi_pool();
+        let alloc = DrfAllocation {
+            dominant_shares: vec![Rational::new(4, 9), Rational::new(1, 3)],
+            tasks: vec![ri(2), ri(1)],
+            usage: vec![ri(5), ri(9)],
+        };
+        let cert = audit_drf(&pool, &alloc);
+        let violations = cert.counterexample().expect("must violate");
+        assert!(violations.contains(&DrfViolation::NotParetoEfficient));
+    }
+}

@@ -22,15 +22,19 @@
 //! All fluid: task counts are continuous, as in the DRF paper's analysis.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // See the workspace convention (DESIGN.md): NaN is rejected at the model
 // boundary, so negated partial-order comparisons are total.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod multi_site;
 mod pool;
 pub mod properties;
 
+#[cfg(feature = "audit")]
+pub use audit::{audit_drf, DrfViolation, DrfWitness};
 pub use multi_site::{aggregate_drf_heuristic, MultiSiteDrfInstance, PerSiteDrf};
 pub use pool::{DrfAllocation, DrfError, DrfJob, DrfPool};

@@ -118,7 +118,17 @@ pub fn aggregate_drf_heuristic(
         }
     }
     let total_cap: Vec<f64> = (0..n)
-        .map(|j| (0..m).map(|s| if per_task_share[j][s] > 0.0 { share_cap[j][s] } else { 0.0 }).sum())
+        .map(|j| {
+            (0..m)
+                .map(|s| {
+                    if per_task_share[j][s] > 0.0 {
+                        share_cap[j][s]
+                    } else {
+                        0.0
+                    }
+                })
+                .sum()
+        })
         .collect();
 
     // Greedy placement: can every job reach min(t, total_cap_j)?
@@ -267,10 +277,7 @@ mod tests {
         let task = || DrfJob::new(vec![ri(1), ri(1)]);
         let inst = MultiSiteDrfInstance {
             capacities: vec![vec![ri(10), ri(10)], vec![ri(10), ri(10)]],
-            jobs: vec![
-                vec![Some(task()), None],
-                vec![Some(task()), Some(task())],
-            ],
+            jobs: vec![vec![Some(task()), None], vec![Some(task()), Some(task())]],
         };
         let (site_allocs, aggregates) = PerSiteDrf.allocate(&inst).unwrap();
         assert_eq!(site_allocs.len(), 2);
@@ -305,10 +312,7 @@ mod tests {
         let task = || DrfJob::new(vec![10.0, 10.0]);
         let inst = MultiSiteDrfInstance {
             capacities: vec![vec![10.0, 10.0], vec![10.0, 10.0]],
-            jobs: vec![
-                vec![Some(task()), None],
-                vec![Some(task()), Some(task())],
-            ],
+            jobs: vec![vec![Some(task()), None], vec![Some(task()), Some(task())]],
         };
         let (x, aggregates) = aggregate_drf_heuristic(&inst, 40).unwrap();
         // Feasible at every site/resource.

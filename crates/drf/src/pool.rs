@@ -382,10 +382,7 @@ mod tests {
         .unwrap();
         let alloc = pool.solve();
         assert_eq!(alloc.tasks, vec![ri(3), ri(9)]);
-        assert_eq!(
-            alloc.dominant_shares[1],
-            alloc.dominant_shares[0] * ri(3)
-        );
+        assert_eq!(alloc.dominant_shares[1], alloc.dominant_shares[0] * ri(3));
     }
 
     #[test]

@@ -26,10 +26,7 @@ pub fn is_pareto_efficient<S: Scalar>(pool: &DrfPool<S>, alloc: &DrfAllocation<S
 /// **Sharing incentive** (unweighted): every job's dominant share is at
 /// least `min(cap_j, 1/n)` — what it would get from a static `1/n` slice
 /// of every resource.
-pub fn satisfies_sharing_incentive<S: Scalar>(
-    pool: &DrfPool<S>,
-    alloc: &DrfAllocation<S>,
-) -> bool {
+pub fn satisfies_sharing_incentive<S: Scalar>(pool: &DrfPool<S>, alloc: &DrfAllocation<S>) -> bool {
     let n = pool.n_jobs();
     if n == 0 {
         return true;

@@ -20,7 +20,9 @@ fn random_pool() -> impl Strategy<Value = DrfPool<Rational>> {
         )
             .prop_map(|(caps, jobs)| {
                 DrfPool::new(
-                    caps.into_iter().map(|c| Rational::from_int(c as i128)).collect(),
+                    caps.into_iter()
+                        .map(|c| Rational::from_int(c as i128))
+                        .collect(),
                     jobs.into_iter()
                         .map(|(demand, max_tasks)| {
                             let mut job = DrfJob::new(

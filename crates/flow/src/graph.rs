@@ -61,10 +61,21 @@ impl<S: Scalar> FlowNetwork<S> {
     /// Panics if `cap < 0` or a node id is out of range.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: S) -> EdgeId {
         assert!(!(cap < S::ZERO), "add_edge: negative capacity {cap}");
-        assert!(from < self.adj.len() && to < self.adj.len(), "add_edge: node out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "add_edge: node out of range"
+        );
         let id = self.edges.len();
-        self.edges.push(Edge { to, cap, flow: S::ZERO });
-        self.edges.push(Edge { to: from, cap: S::ZERO, flow: S::ZERO });
+        self.edges.push(Edge {
+            to,
+            cap,
+            flow: S::ZERO,
+        });
+        self.edges.push(Edge {
+            to: from,
+            cap: S::ZERO,
+            flow: S::ZERO,
+        });
         self.adj[from].push(id);
         self.adj[to].push(id + 1);
         id

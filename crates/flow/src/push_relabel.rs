@@ -42,7 +42,16 @@ pub fn max_flow<S: Scalar>(net: &mut FlowNetwork<S>, source: NodeId, sink: NodeI
 
     while let Some(v) = queue.pop_front() {
         in_queue[v] = false;
-        discharge(net, v, sink, source, &mut height, &mut excess, &mut queue, &mut in_queue);
+        discharge(
+            net,
+            v,
+            sink,
+            source,
+            &mut height,
+            &mut excess,
+            &mut queue,
+            &mut in_queue,
+        );
     }
 
     // Max flow equals the flow into the sink.
@@ -168,7 +177,11 @@ mod tests {
                 let a = rng.gen_range(0..n);
                 let b = rng.gen_range(0..n);
                 if a != b {
-                    g1.add_edge(a, b, Rational::new(rng.gen_range(0..12), rng.gen_range(1..5)));
+                    g1.add_edge(
+                        a,
+                        b,
+                        Rational::new(rng.gen_range(0..12), rng.gen_range(1..5)),
+                    );
                 }
             }
             let mut g2 = g1.clone();

@@ -66,7 +66,10 @@ impl Histogram {
         let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         if self.underflow > 0 {
-            out.push_str(&format!("        < {:>8.3} | {}\n", self.lo, self.underflow));
+            out.push_str(&format!(
+                "        < {:>8.3} | {}\n",
+                self.lo, self.underflow
+            ));
         }
         for (i, &c) in self.bins.iter().enumerate() {
             let (a, b) = self.bin_range(i);

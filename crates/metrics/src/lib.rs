@@ -21,8 +21,7 @@
 // where the row/column structure is the point.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
-
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod fairness;
 pub mod histogram;

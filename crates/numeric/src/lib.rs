@@ -17,7 +17,7 @@
 //! Nothing in this crate is specific to fair allocation; it is a substrate.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod kahan;
 mod rational;

@@ -154,7 +154,11 @@ impl FromStr for Rational {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let bad = || ParseRationalError(s.to_owned());
         match s.split_once('/') {
-            None => s.trim().parse::<i128>().map(Rational::from_int).map_err(|_| bad()),
+            None => s
+                .trim()
+                .parse::<i128>()
+                .map(Rational::from_int)
+                .map_err(|_| bad()),
             Some((a, b)) => {
                 let num = a.trim().parse::<i128>().map_err(|_| bad())?;
                 let den = b.trim().parse::<i128>().map_err(|_| bad())?;

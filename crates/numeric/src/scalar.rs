@@ -62,7 +62,11 @@ pub trait Scalar:
     /// `|self - other| <= eps` (relative-ish for `f64`, exact equality for
     /// exact types).
     fn approx_eq(self, other: Self) -> bool {
-        let d = if self > other { self - other } else { other - self };
+        let d = if self > other {
+            self - other
+        } else {
+            other - self
+        };
         !(d > Self::eps())
     }
 

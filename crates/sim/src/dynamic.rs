@@ -146,11 +146,7 @@ mod tests {
 
     #[test]
     fn amf_balanced_preserves_fair_aggregates() {
-        let inst = Instance::new(
-            vec![6.0, 6.0],
-            vec![vec![6.0, 6.0], vec![6.0, 6.0]],
-        )
-        .unwrap();
+        let inst = Instance::new(vec![6.0, 6.0], vec![vec![6.0, 6.0], vec![6.0, 6.0]]).unwrap();
         let remaining = vec![vec![10.0, 1.0], vec![1.0, 10.0]];
         let a = AmfBalanced::new().allocate_dynamic(&inst, &remaining);
         assert!((a.aggregate(0) - 6.0).abs() < 1e-6);

@@ -146,9 +146,16 @@ fn run_engine(
     let m = trace.capacities.len();
     for (i, job) in trace.jobs.iter().enumerate() {
         assert_eq!(job.work.len(), m, "job {i}: work row length != site count");
-        assert_eq!(job.demand.len(), m, "job {i}: demand row length != site count");
+        assert_eq!(
+            job.demand.len(),
+            m,
+            "job {i}: demand row length != site count"
+        );
         for s in 0..m {
-            assert!(job.work[s] >= 0.0 && job.demand[s] >= 0.0, "job {i}: negative entry");
+            assert!(
+                job.work[s] >= 0.0 && job.demand[s] >= 0.0,
+                "job {i}: negative entry"
+            );
             assert!(
                 job.work[s] <= 0.0 || job.demand[s] > 0.0,
                 "job {i}: work at site {s} but zero demand — it could never run"
@@ -192,8 +199,9 @@ fn run_engine(
     let mut reallocations = 0usize;
     let mut makespan = 0.0f64;
     // Quantized mode: rates cached per trace index until the next round.
-    let mut cached_rates: std::collections::HashMap<usize, Vec<f64>> =
-        std::collections::HashMap::new();
+    // BTreeMap for deterministic iteration (workspace convention, clippy.toml).
+    let mut cached_rates: std::collections::BTreeMap<usize, Vec<f64>> =
+        std::collections::BTreeMap::new();
     let mut next_round = 0.0f64;
 
     loop {
@@ -254,10 +262,24 @@ fn run_engine(
                 active.iter().map(|a| a.demand.clone()).collect(),
             )
             .expect("active jobs always form a valid instance");
-            let remaining: Vec<Vec<f64>> =
-                active.iter().map(|a| a.remaining.clone()).collect();
+            let remaining: Vec<Vec<f64>> = active.iter().map(|a| a.remaining.clone()).collect();
             let fresh = rate_fn(&inst, &remaining);
             debug_assert_eq!(fresh.len(), active.len(), "rate matrix row count");
+            #[cfg(feature = "audit")]
+            {
+                // Rates are resource allocations of the active instance:
+                // every reallocation must stay within demands + capacities.
+                let cert = amf_audit::feasibility_cert(
+                    &inst,
+                    &amf_core::Allocation::from_split(fresh.clone()),
+                );
+                if let Some(violations) = cert.counterexample() {
+                    panic!(
+                        "policy returned an infeasible rate matrix at t={t}: \
+                         {violations:?}"
+                    );
+                }
+            }
             reallocations += 1;
             if let Some(q) = quantum {
                 next_round = t + q;
@@ -475,10 +497,7 @@ mod tests {
     fn multi_site_job_finishes_when_slowest_portion_does() {
         // Work (8, 2), demand (4, 4), capacities (4, 4), alone: runs at
         // demand everywhere: portions done at 2 and 0.5 → JCT 2.
-        let trace = batch_trace(
-            vec![4.0, 4.0],
-            vec![(vec![8.0, 2.0], vec![4.0, 4.0])],
-        );
+        let trace = batch_trace(vec![4.0, 4.0], vec![(vec![8.0, 2.0], vec![4.0, 4.0])]);
         let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
         assert!((report.jobs[0].completion.unwrap() - 2.0).abs() < 1e-6);
     }
@@ -560,7 +579,11 @@ mod tests {
             &events,
         );
         assert!(report.all_finished());
-        assert!((report.makespan - 3.0).abs() < 1e-6, "makespan {}", report.makespan);
+        assert!(
+            (report.makespan - 3.0).abs() < 1e-6,
+            "makespan {}",
+            report.makespan
+        );
         // Utilization against the time-varying capacity: 20 work over
         // ∫cap = 10*1 + 5*2 = 20 → 100%.
         assert!((report.mean_utilization - 1.0).abs() < 1e-6);
@@ -571,8 +594,16 @@ mod tests {
         // The site fails completely at t=0.5 and recovers at t=2.
         let trace = batch_trace(vec![4.0], vec![(vec![4.0], vec![4.0])]);
         let events = [
-            CapacityEvent { time: 0.5, site: 0, capacity: 0.0 },
-            CapacityEvent { time: 2.0, site: 0, capacity: 4.0 },
+            CapacityEvent {
+                time: 0.5,
+                site: 0,
+                capacity: 0.0,
+            },
+            CapacityEvent {
+                time: 2.0,
+                site: 0,
+                capacity: 4.0,
+            },
         ];
         let report = simulate_with_capacity_events(
             &trace,
@@ -582,13 +613,21 @@ mod tests {
         );
         assert!(report.all_finished());
         // 2 work done by 0.5; outage until 2.0; remaining 2 work → 0.5s.
-        assert!((report.makespan - 2.5).abs() < 1e-6, "makespan {}", report.makespan);
+        assert!(
+            (report.makespan - 2.5).abs() < 1e-6,
+            "makespan {}",
+            report.makespan
+        );
     }
 
     #[test]
     fn permanent_outage_starves() {
         let trace = batch_trace(vec![4.0], vec![(vec![8.0], vec![4.0])]);
-        let events = [CapacityEvent { time: 1.0, site: 0, capacity: 0.0 }];
+        let events = [CapacityEvent {
+            time: 1.0,
+            site: 0,
+            capacity: 0.0,
+        }];
         let report = simulate_with_capacity_events(
             &trace,
             &AmfSolver::new(),
@@ -602,11 +641,12 @@ mod tests {
     fn degraded_site_slows_only_its_portion() {
         // Work is site-pinned: when site 0 degrades to 1 slot at t=1, the
         // job's site-0 portion crawls while site 1 finishes on time.
-        let trace = batch_trace(
-            vec![5.0, 5.0],
-            vec![(vec![10.0, 10.0], vec![5.0, 5.0])],
-        );
-        let events = [CapacityEvent { time: 1.0, site: 0, capacity: 1.0 }];
+        let trace = batch_trace(vec![5.0, 5.0], vec![(vec![10.0, 10.0], vec![5.0, 5.0])]);
+        let events = [CapacityEvent {
+            time: 1.0,
+            site: 0,
+            capacity: 1.0,
+        }];
         let report = simulate_with_capacity_events(
             &trace,
             &AmfSolver::new(),
@@ -616,18 +656,23 @@ mod tests {
         assert!(report.all_finished());
         // Phase 1 (t<1): rates (5,5), 5 done each. Site 1 portion done at
         // t=2; site 0's remaining 5 at rate 1 → done at t=6.
-        assert!((report.makespan - 6.0).abs() < 1e-6, "makespan {}", report.makespan);
+        assert!(
+            (report.makespan - 6.0).abs() < 1e-6,
+            "makespan {}",
+            report.makespan
+        );
     }
 
     #[test]
     fn total_site_loss_strands_pinned_work() {
         // A permanent total outage strands the work pinned there: the
         // model has no re-replication, so the job reports unfinished.
-        let trace = batch_trace(
-            vec![5.0, 5.0],
-            vec![(vec![10.0, 10.0], vec![5.0, 5.0])],
-        );
-        let events = [CapacityEvent { time: 1.0, site: 0, capacity: 0.0 }];
+        let trace = batch_trace(vec![5.0, 5.0], vec![(vec![10.0, 10.0], vec![5.0, 5.0])]);
+        let events = [CapacityEvent {
+            time: 1.0,
+            site: 0,
+            capacity: 0.0,
+        }];
         let report = simulate_with_capacity_events(
             &trace,
             &AmfSolver::new(),
@@ -641,13 +686,12 @@ mod tests {
     #[should_panic(expected = "site out of range")]
     fn bad_event_rejected() {
         let trace = batch_trace(vec![1.0], vec![(vec![1.0], vec![1.0])]);
-        let events = [CapacityEvent { time: 0.0, site: 9, capacity: 1.0 }];
-        simulate_with_capacity_events(
-            &trace,
-            &AmfSolver::new(),
-            &SimConfig::default(),
-            &events,
-        );
+        let events = [CapacityEvent {
+            time: 0.0,
+            site: 9,
+            capacity: 1.0,
+        }];
+        simulate_with_capacity_events(&trace, &AmfSolver::new(), &SimConfig::default(), &events);
     }
 
     #[test]
@@ -693,7 +737,11 @@ mod tests {
             },
         );
         assert!(coarse.all_finished());
-        assert!((coarse.makespan - 4.0).abs() < 1e-6, "makespan {}", coarse.makespan);
+        assert!(
+            (coarse.makespan - 4.0).abs() < 1e-6,
+            "makespan {}",
+            coarse.makespan
+        );
     }
 
     #[test]

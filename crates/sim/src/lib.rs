@@ -33,8 +33,7 @@
 // where the row/column structure is the point.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![allow(clippy::needless_range_loop)]
-
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dynamic;
 mod engine;
@@ -45,6 +44,8 @@ pub mod split;
 pub mod tasks;
 
 pub use dynamic::{AmfBalanced, DynamicPolicy, SrptPerSite};
-pub use engine::{simulate, simulate_dynamic, simulate_with_capacity_events, CapacityEvent, SimConfig};
+pub use engine::{
+    simulate, simulate_dynamic, simulate_with_capacity_events, CapacityEvent, SimConfig,
+};
 pub use report::{JobOutcome, SimReport};
 pub use split::SplitStrategy;

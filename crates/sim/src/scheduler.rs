@@ -140,7 +140,10 @@ impl Scheduler {
         assert_eq!(work.len(), m, "work row length != site count");
         assert_eq!(demand.len(), m, "demand row length != site count");
         for s in 0..m {
-            assert!(work[s] >= 0.0 && demand[s] >= 0.0, "negative entry at site {s}");
+            assert!(
+                work[s] >= 0.0 && demand[s] >= 0.0,
+                "negative entry at site {s}"
+            );
             assert!(
                 work[s] <= 0.0 || demand[s] > 0.0,
                 "work at site {s} but zero demand"
@@ -321,7 +324,9 @@ mod tests {
         let id = sched.submit(vec![10.0], vec![2.0]);
         let events = sched.advance(10.0);
         assert_eq!(sched.job(id).completed_at, Some(5.0));
-        assert!(matches!(events.last(), Some(SchedEvent::JobCompleted { at, .. }) if (*at - 5.0).abs() < 1e-9));
+        assert!(
+            matches!(events.last(), Some(SchedEvent::JobCompleted { at, .. }) if (*at - 5.0).abs() < 1e-9)
+        );
         assert_eq!(sched.now(), 10.0);
         assert!((sched.job(id).service - 10.0).abs() < 1e-9);
     }

@@ -38,8 +38,12 @@ pub fn largest_remainder_round(
         let fa = fluid[a] - fluid[a].floor();
         let fb = fluid[b] - fluid[b].floor();
         fb.partial_cmp(&fa)
-            .unwrap()
-            .then(remaining[b].partial_cmp(&remaining[a]).unwrap())
+            .expect("fractional parts are finite: the model rejects NaN")
+            .then(
+                remaining[b]
+                    .partial_cmp(&remaining[a])
+                    .expect("remaining work is finite: the model rejects NaN"),
+            )
     });
     for &j in order.iter().take(budget) {
         slots[j] += 1.0;

@@ -26,8 +26,7 @@ use amf_core::water_fill_weighted;
 use amf_flow::AllocationNetwork;
 
 /// How the engine splits aggregate allocations across sites.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SplitStrategy {
     /// Use the split the policy returned (AMF's is an arbitrary max-flow
     /// decomposition; PSMF's is already site-determined).
@@ -41,7 +40,6 @@ pub enum SplitStrategy {
         repair_rounds: usize,
     },
 }
-
 
 /// Compute a work-proportional split of the given aggregates.
 ///
@@ -98,11 +96,15 @@ pub fn balanced_progress_split(
             let got: f64 = x[j].iter().sum();
             let deficit = aggregates[j] - got;
             if deficit > 1e-12 {
-                let residual_caps: Vec<f64> = (0..m)
-                    .map(|s| (demands[j][s] - x[j][s]).max(0.0))
-                    .collect();
+                let residual_caps: Vec<f64> =
+                    (0..m).map(|s| (demands[j][s] - x[j][s]).max(0.0)).collect();
                 let mut extra = vec![0.0; m];
-                fill_job(&mut extra, deficit.min(sum_of(&residual_caps)), &residual_caps, &remaining[j]);
+                fill_job(
+                    &mut extra,
+                    deficit.min(sum_of(&residual_caps)),
+                    &residual_caps,
+                    &remaining[j],
+                );
                 for s in 0..m {
                     x[j][s] += extra[s];
                 }

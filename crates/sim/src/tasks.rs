@@ -70,14 +70,20 @@ impl TaskTrace {
                     let tasks: Vec<u32> = j
                         .work
                         .iter()
-                        .map(|&w| (w / task_duration).round().max(if w > 0.0 { 1.0 } else { 0.0 }) as u32)
+                        .map(|&w| {
+                            (w / task_duration)
+                                .round()
+                                .max(if w > 0.0 { 1.0 } else { 0.0 })
+                                as u32
+                        })
                         .collect();
-                    let max_parallelism = j
-                        .demand
-                        .iter()
-                        .cloned()
-                        .fold(0.0f64, f64::max)
-                        .max(if tasks.iter().any(|&t| t > 0) { 1.0 } else { 0.0 });
+                    let max_parallelism = j.demand.iter().cloned().fold(0.0f64, f64::max).max(
+                        if tasks.iter().any(|&t| t > 0) {
+                            1.0
+                        } else {
+                            0.0
+                        },
+                    );
                     TaskJob {
                         arrival: j.arrival,
                         tasks,
@@ -220,12 +226,8 @@ pub fn simulate_tasks(trace: &TaskTrace, policy: &dyn AllocationPolicy<f64>) -> 
             let fluid_col: Vec<f64> = (0..active.len()).map(|j| fluid.at(j, s)).collect();
             let demand_col: Vec<f64> = (0..active.len()).map(|j| demands[j][s]).collect();
             let pending_col: Vec<f64> = active.iter().map(|a| a.pending[s] as f64).collect();
-            let quotas = largest_remainder_round(
-                &fluid_col,
-                trace.capacities[s],
-                &demand_col,
-                &pending_col,
-            );
+            let quotas =
+                largest_remainder_round(&fluid_col, trace.capacities[s], &demand_col, &pending_col);
             // Enforce the site capacity accounting for running tasks of all
             // jobs: slots in use cannot exceed capacity by construction
             // (quotas were granted when tasks launched), but shrinking
@@ -325,10 +327,7 @@ mod tests {
     fn two_jobs_share_slots_fairly() {
         // Two identical jobs (8 tasks, duration 1, parallelism 8) on an
         // 8-slot site: AMF gives 4 slots each → both finish at t = 2.
-        let trace = batch(
-            vec![8.0],
-            vec![(vec![8], 1.0, 8.0), (vec![8], 1.0, 8.0)],
-        );
+        let trace = batch(vec![8.0], vec![(vec![8], 1.0, 8.0), (vec![8], 1.0, 8.0)]);
         let report = simulate_tasks(&trace, &AmfSolver::new());
         assert!(report.all_finished());
         for j in &report.jobs {
@@ -368,10 +367,7 @@ mod tests {
 
     #[test]
     fn multi_site_job_completes_when_all_tasks_do() {
-        let trace = batch(
-            vec![2.0, 2.0],
-            vec![(vec![4, 1], 1.0, 4.0)],
-        );
+        let trace = batch(vec![2.0, 2.0], vec![(vec![4, 1], 1.0, 4.0)]);
         let report = simulate_tasks(&trace, &AmfSolver::new());
         assert!(report.all_finished());
         // Site 0: waves of 2,2 → done at 2; site 1: done at 1 → JCT 2.
@@ -382,10 +378,7 @@ mod tests {
     fn agrees_with_fluid_on_divisible_instances() {
         // Task counts and slots chosen so the fluid allocation is integral
         // and wave-aligned; both engines give the same JCTs.
-        let task_trace = batch(
-            vec![6.0],
-            vec![(vec![6], 2.0, 6.0), (vec![6], 2.0, 6.0)],
-        );
+        let task_trace = batch(vec![6.0], vec![(vec![6], 2.0, 6.0), (vec![6], 2.0, 6.0)]);
         let report = simulate_tasks(&task_trace, &AmfSolver::new());
         // Fluid equivalent: work = 12 task-seconds each, rate 3 each.
         // Both: 6 tasks at 3 slots = 2 waves × 2s = 4.

@@ -34,7 +34,10 @@ pub fn poisson_arrivals<R: Rng>(n: usize, rate: f64, rng: &mut R) -> Vec<f64> {
 /// # Panics
 /// Panics on non-positive inputs.
 pub fn rate_for_load(rho: f64, total_capacity: f64, mean_work: f64) -> f64 {
-    assert!(rho > 0.0 && total_capacity > 0.0 && mean_work > 0.0, "bad load parameters");
+    assert!(
+        rho > 0.0 && total_capacity > 0.0 && mean_work > 0.0,
+        "bad load parameters"
+    );
     rho * total_capacity / mean_work
 }
 

@@ -130,9 +130,9 @@ impl WorkloadConfig {
         );
         let jobs = (0..self.n_jobs)
             .map(|_| {
-                let shares =
-                    self.skew
-                        .place(self.n_sites, self.sites_per_job, self.placement, rng);
+                let shares = self
+                    .skew
+                    .place(self.n_sites, self.sites_per_job, self.placement, rng);
                 let total_work = self.total_work.sample(rng);
                 let total_par = self.total_parallelism.sample(rng);
                 let work: Vec<f64> = shares.iter().map(|p| p * total_work).collect();
@@ -264,9 +264,7 @@ mod tests {
         let max_share = |w: &Workload| -> f64 {
             w.jobs
                 .iter()
-                .map(|j| {
-                    j.work.iter().cloned().fold(0.0, f64::max) / j.total_work()
-                })
+                .map(|j| j.work.iter().cloned().fold(0.0, f64::max) / j.total_work())
                 .sum::<f64>()
                 / w.n_jobs() as f64
         };

@@ -25,15 +25,31 @@ fn fleet() -> Vec<f64> {
 fn jobs() -> Vec<(&'static str, Vec<f64>, Vec<f64>)> {
     vec![
         // A click-log join: data overwhelmingly in US.
-        ("clicklog-join", vec![9000.0, 800.0, 0.0], vec![200.0, 200.0, 0.0]),
+        (
+            "clicklog-join",
+            vec![9000.0, 800.0, 0.0],
+            vec![200.0, 200.0, 0.0],
+        ),
         // A GDPR-scoped aggregation: EU only.
         ("gdpr-agg", vec![0.0, 5000.0, 0.0], vec![0.0, 200.0, 0.0]),
         // A global dashboard refresh: spread everywhere.
-        ("dashboard", vec![2500.0, 1500.0, 1200.0], vec![200.0, 200.0, 200.0]),
+        (
+            "dashboard",
+            vec![2500.0, 1500.0, 1200.0],
+            vec![200.0, 200.0, 200.0],
+        ),
         // An APAC-local model scoring job on the small DC.
-        ("apac-scoring", vec![0.0, 0.0, 2400.0], vec![0.0, 0.0, 200.0]),
+        (
+            "apac-scoring",
+            vec![0.0, 0.0, 2400.0],
+            vec![0.0, 0.0, 200.0],
+        ),
         // A backfill that can run anywhere but is data-heavy in the US.
-        ("backfill", vec![6000.0, 2000.0, 1000.0], vec![200.0, 200.0, 200.0]),
+        (
+            "backfill",
+            vec![6000.0, 2000.0, 1000.0],
+            vec![200.0, 200.0, 200.0],
+        ),
     ]
 }
 
@@ -84,7 +100,11 @@ fn main() {
         &["policy", "mean_jct", "makespan", "utilization"],
     );
     let runs: Vec<(&str, Box<dyn AllocationPolicy<f64>>, SimConfig)> = vec![
-        ("per-site-max-min", Box::new(PerSiteMaxMin), SimConfig::default()),
+        (
+            "per-site-max-min",
+            Box::new(PerSiteMaxMin),
+            SimConfig::default(),
+        ),
         ("amf", Box::new(AmfSolver::new()), SimConfig::default()),
         (
             "amf + jct add-on",

@@ -11,7 +11,9 @@ use amf::metrics::{fmt2, fmt4, percentile, Table};
 use amf::sim::{simulate, SimConfig, SplitStrategy};
 use amf::workload::arrivals::{poisson_arrivals, rate_for_load};
 use amf::workload::trace::Trace;
-use amf::workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
+use amf::workload::{
+    CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,7 +42,13 @@ fn main() {
 
     let mut table = Table::new(
         "online simulation @ load 0.7 (60 jobs, 6 sites)",
-        &["policy", "mean_jct", "p95_jct", "utilization", "reallocations"],
+        &[
+            "policy",
+            "mean_jct",
+            "p95_jct",
+            "utilization",
+            "reallocations",
+        ],
     );
     let runs: Vec<(&str, Box<dyn AllocationPolicy<f64>>, SimConfig)> = vec![
         (

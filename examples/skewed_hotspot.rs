@@ -9,14 +9,22 @@
 
 use amf::core::{AllocationPolicy, AmfSolver, PerSiteMaxMin};
 use amf::metrics::{fmt4, jain_index, min_share, Table};
-use amf::workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
+use amf::workload::{
+    CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut table = Table::new(
         "allocation balance vs skew (50 jobs, 8 sites, 4 sites/job)",
-        &["alpha", "jain(psmf)", "jain(amf)", "min_share(psmf)", "min_share(amf)"],
+        &[
+            "alpha",
+            "jain(psmf)",
+            "jain(amf)",
+            "min_share(psmf)",
+            "min_share(amf)",
+        ],
     );
     for alpha in [0.0, 0.5, 1.0, 1.5, 2.0] {
         let workload = WorkloadConfig {
@@ -29,7 +37,7 @@ fn main() {
             total_parallelism: SizeDist::Constant { value: 30.0 },
             skew: SiteSkew::Zipf { alpha },
             placement: SitePlacement::Popularity { gamma: 1.0 },
-        demand_model: DemandModel::ProportionalToWork,
+            demand_model: DemandModel::ProportionalToWork,
         }
         .generate(&mut StdRng::seed_from_u64(7));
         let inst = workload.instance();

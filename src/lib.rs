@@ -28,6 +28,8 @@
 //!
 //! * [`core`] — the model, the AMF solvers and baselines, property
 //!   checkers ([`amf_core`]);
+//! * [`audit`] — the certificate-based allocation auditor: re-verifies
+//!   any allocation with machine-checkable witnesses ([`amf_audit`]);
 //! * [`sim`] — the discrete-event fluid simulator and the JCT add-on
 //!   ([`amf_sim`]);
 //! * [`workload`] — skewed synthetic workload generation
@@ -41,8 +43,9 @@
 //!   ([`amf_drf`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub use amf_audit as audit;
 pub use amf_core as core;
 pub use amf_drf as drf;
 pub use amf_flow as flow;

@@ -1,12 +1,12 @@
 //! Integration tests spanning the whole workspace: generate → allocate →
 //! verify → simulate.
 
-use amf::core::{
-    AllocationPolicy, AmfSolver, EqualDivision, PerSiteMaxMin, ProportionalToDemand,
-};
+use amf::core::{AllocationPolicy, AmfSolver, EqualDivision, PerSiteMaxMin, ProportionalToDemand};
 use amf::sim::{simulate, SimConfig, SplitStrategy};
 use amf::workload::trace::Trace;
-use amf::workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
+use amf::workload::{
+    CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -84,9 +84,8 @@ fn simulations_complete_and_conserve_work() {
             let report = simulate(&trace, policy.as_ref(), &config);
             assert!(report.all_finished(), "{} starved", policy.name());
             // Work conservation: used capacity-time == total work done.
-            let used = report.mean_utilization
-                * report.makespan
-                * trace.capacities.iter().sum::<f64>();
+            let used =
+                report.mean_utilization * report.makespan * trace.capacities.iter().sum::<f64>();
             assert!(
                 (used - total_work).abs() / total_work < 1e-3,
                 "{}: used {used} vs work {total_work}",
@@ -102,7 +101,11 @@ fn online_and_batch_agree_when_arrivals_are_zero() {
     let batch = Trace::batch(&w);
     let with_zero_arrivals = Trace::with_arrivals(&w, &vec![0.0; w.n_jobs()]);
     let r1 = simulate(&batch, &AmfSolver::new(), &SimConfig::default());
-    let r2 = simulate(&with_zero_arrivals, &AmfSolver::new(), &SimConfig::default());
+    let r2 = simulate(
+        &with_zero_arrivals,
+        &AmfSolver::new(),
+        &SimConfig::default(),
+    );
     assert_eq!(r1, r2);
 }
 

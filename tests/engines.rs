@@ -18,10 +18,7 @@ fn paired_traces() -> (Trace, TaskTrace) {
             .map(|&(a, b)| TraceJob {
                 arrival: 0.0,
                 work: vec![a as f64, b as f64],
-                demand: vec![
-                    if a > 0 { 4.0 } else { 0.0 },
-                    if b > 0 { 4.0 } else { 0.0 },
-                ],
+                demand: vec![if a > 0 { 4.0 } else { 0.0 }, if b > 0 { 4.0 } else { 0.0 }],
             })
             .collect(),
     };
@@ -51,7 +48,10 @@ fn fluid_and_task_engines_agree_on_aligned_workloads() {
     for (f, t) in fluid.jobs.iter().zip(&tasks.jobs) {
         let fj = f.jct().unwrap();
         let tj = t.jct().unwrap();
-        assert!(tj >= fj - 1e-9, "task engine faster than fluid: {tj} < {fj}");
+        assert!(
+            tj >= fj - 1e-9,
+            "task engine faster than fluid: {tj} < {fj}"
+        );
         assert!(tj <= fj * 2.0 + 1e-9, "task engine unreasonably slow");
     }
 }
@@ -124,5 +124,8 @@ fn task_engine_handles_staggered_arrivals() {
     };
     let report = simulate_tasks(&trace, &AmfSolver::new());
     assert!(report.all_finished());
-    assert!(report.makespan >= 3.0 - 1e-9, "6 unit tasks on 2 slots need >= 3");
+    assert!(
+        report.makespan >= 3.0 - 1e-9,
+        "6 unit tasks on 2 slots need >= 3"
+    );
 }

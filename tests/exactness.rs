@@ -19,7 +19,9 @@ fn small_exact_instance() -> impl Strategy<Value = Instance<Rational>> {
         )
             .prop_map(|(caps, demands)| {
                 Instance::new(
-                    caps.into_iter().map(|v| Rational::from_int(v as i128)).collect(),
+                    caps.into_iter()
+                        .map(|v| Rational::from_int(v as i128))
+                        .collect(),
                     demands
                         .into_iter()
                         .map(|row| {

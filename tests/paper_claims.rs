@@ -1,15 +1,15 @@
 //! The paper's qualitative claims, asserted end-to-end. These are the
 //! "shape" checks from EXPERIMENTS.md: who wins, and where it matters.
 
-use amf::core::properties::{
-    is_envy_free, is_pareto_efficient, satisfies_sharing_incentive,
-};
+use amf::core::properties::{is_envy_free, is_pareto_efficient, satisfies_sharing_incentive};
 use amf::core::{AllocationPolicy, AmfSolver, Instance, PerSiteMaxMin};
 use amf::metrics::jain_index;
 use amf::numeric::Rational;
 use amf::sim::{simulate, SimConfig, SplitStrategy};
 use amf::workload::trace::Trace;
-use amf::workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
+use amf::workload::{
+    CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -116,7 +116,10 @@ fn property_claims_on_the_canonical_counterexample() {
     let amf = AmfSolver::new().allocate(&inst);
     assert!(is_pareto_efficient(&inst, &amf));
     assert!(is_envy_free(&inst, &amf));
-    assert!(!satisfies_sharing_incentive(&inst, &amf), "plain AMF must violate SI here");
+    assert!(
+        !satisfies_sharing_incentive(&inst, &amf),
+        "plain AMF must violate SI here"
+    );
     let enhanced = AmfSolver::enhanced().allocate(&inst);
     assert!(satisfies_sharing_incentive(&inst, &enhanced));
     assert!(is_pareto_efficient(&inst, &enhanced));

@@ -10,7 +10,11 @@ use amf::workload::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn big_workload(n_jobs: usize, n_sites: usize, demand_model: DemandModel) -> amf::workload::Workload {
+fn big_workload(
+    n_jobs: usize,
+    n_sites: usize,
+    demand_model: DemandModel,
+) -> amf::workload::Workload {
     WorkloadConfig {
         n_sites,
         site_capacity: 200.0,
@@ -66,9 +70,7 @@ fn simulation_at_scale() {
     ] {
         let report = simulate(&trace, policy.as_ref(), &config);
         assert!(report.all_finished(), "{} starved", policy.name());
-        let done = report.mean_utilization
-            * report.makespan
-            * trace.capacities.iter().sum::<f64>();
+        let done = report.mean_utilization * report.makespan * trace.capacities.iter().sum::<f64>();
         assert!(
             (done - total_work).abs() / total_work < 1e-3,
             "{}: work leak",

@@ -1,0 +1,175 @@
+//! Offline sequential shim for the `rayon` API surface this workspace uses.
+//!
+//! `par_iter()`/`into_par_iter()` return a [`prelude::ParIter`] wrapper
+//! around the corresponding *sequential* standard-library iterator. The
+//! wrapper implements [`Iterator`] (so `collect`, `sum`, and friends work)
+//! and adds inherent methods for the rayon-specific surface (`map` and
+//! `flat_map_iter` that keep the wrapper, rayon's two-argument `reduce`),
+//! so adapter chains compile unchanged and produce identical results —
+//! just without parallel speedup.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod prelude {
+    //! The glob-import surface: `use rayon::prelude::*;`.
+
+    /// A sequential stand-in for rayon's parallel iterators.
+    ///
+    /// Implements [`Iterator`] by delegation; rayon-specific adapters are
+    /// inherent methods (which take precedence over the trait's), so the
+    /// wrapper survives `map`/`filter`/`flat_map_iter` chains and rayon's
+    /// two-argument `reduce` resolves correctly.
+    pub struct ParIter<I>(I);
+
+    impl<I: Iterator> Iterator for ParIter<I> {
+        type Item = I::Item;
+
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        /// Transform each element (rayon: `ParallelIterator::map`).
+        pub fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+        where
+            F: FnMut(I::Item) -> O,
+        {
+            ParIter(self.0.map(f))
+        }
+
+        /// Keep elements matching a predicate (rayon:
+        /// `ParallelIterator::filter`).
+        pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+        where
+            F: FnMut(&I::Item) -> bool,
+        {
+            ParIter(self.0.filter(f))
+        }
+
+        /// Transform-and-keep in one pass (rayon:
+        /// `ParallelIterator::filter_map`).
+        pub fn filter_map<O, F>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+        where
+            F: FnMut(I::Item) -> Option<O>,
+        {
+            ParIter(self.0.filter_map(f))
+        }
+
+        /// Map each element to a serial iterator and flatten (rayon:
+        /// `ParallelIterator::flat_map_iter`).
+        pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+        where
+            U: IntoIterator,
+            F: FnMut(I::Item) -> U,
+        {
+            ParIter(self.0.flat_map(f))
+        }
+
+        /// Map each element to another iterable and flatten (rayon:
+        /// `ParallelIterator::flat_map`).
+        pub fn flat_map<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+        where
+            U: IntoIterator,
+            F: FnMut(I::Item) -> U,
+        {
+            ParIter(self.0.flat_map(f))
+        }
+
+        /// Fold to a single value from an identity (rayon's two-argument
+        /// `ParallelIterator::reduce`, unlike `Iterator::reduce`).
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+    }
+
+    /// Types convertible into a (here: sequential) "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item;
+        /// The underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Convert into an iterator (sequential in this shim).
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// Types whose references yield (here: sequential) "parallel" iterators.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The element type (a reference).
+        type Item: 'data;
+        /// The underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate over `&self` (sequential in this shim).
+        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 10);
+        let range_total: usize = (0..5usize).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(range_total, 30);
+    }
+
+    #[test]
+    fn rayon_only_adapters() {
+        let flattened: Vec<usize> = (0..3usize)
+            .into_par_iter()
+            .flat_map_iter(|i| vec![i, i * 10])
+            .collect();
+        assert_eq!(flattened, vec![0, 0, 1, 10, 2, 20]);
+
+        let reduced = (1..5i64)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(reduced, 30);
+
+        let evens: Vec<i32> = vec![1, 2, 3, 4]
+            .par_iter()
+            .filter(|x| **x % 2 == 0)
+            .map(|x| *x)
+            .collect();
+        assert_eq!(evens, vec![2, 4]);
+    }
+}

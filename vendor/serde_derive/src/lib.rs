@@ -1,0 +1,372 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input
+//! `TokenStream` is walked directly to extract the type name, generic
+//! parameter names, and field/variant names — all the information the
+//! value-tree data model needs — and the impl is emitted as a source string
+//! parsed back into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields, optionally generic (`Foo<S>`);
+//! * enums whose variants are unit or have named fields (externally tagged:
+//!   unit variants serialize as `"Name"`, struct variants as
+//!   `{"Name": {fields…}}`).
+//!
+//! Container/field/variant attributes (`#[serde(...)]`) are not supported
+//! and the workspace does not use them; unknown shapes panic with a clear
+//! message at macro-expansion time.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derive the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    /// Named struct fields.
+    Struct(Vec<String>),
+    /// Variants: name plus named fields (empty = unit variant).
+    Enum(Vec<(String, Vec<String>)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+fn ident_of(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: &TokenTree, c: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip attributes (`#[...]`) and a `pub` / `pub(...)` visibility prefix,
+/// returning the next index.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // '#' then the [...] group
+        } else if i < toks.len() && ident_of(&toks[i]).as_deref() == Some("pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = ident_of(&toks[i]).expect("serde_derive: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("serde_derive: expected type name");
+    i += 1;
+
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut at_param = true;
+        while depth > 0 {
+            let tok = &toks[i];
+            if is_punct(tok, '<') {
+                depth += 1;
+            } else if is_punct(tok, '>') {
+                depth -= 1;
+            } else if is_punct(tok, ',') && depth == 1 {
+                at_param = true;
+            } else if at_param && depth == 1 {
+                if let Some(id) = ident_of(tok) {
+                    generics.push(id);
+                    at_param = false;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // Skip any `where` clause tokens; the body is the next brace group.
+    let body_group = loop {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple structs are not supported (type `{name}`)")
+            }
+            _ => i += 1,
+        }
+    };
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(&body_group)),
+        "enum" => Body::Enum(parse_variants(&body_group)),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Input {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let field = ident_of(&toks[i]).expect("serde_derive: expected field name");
+        fields.push(field);
+        i += 1;
+        assert!(
+            i < toks.len() && is_punct(&toks[i], ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i += 1;
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+            } else if is_punct(&toks[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(group: &Group) -> Vec<(String, Vec<String>)> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("serde_derive: expected variant name");
+        i += 1;
+        let mut fields = Vec::new();
+        if let Some(TokenTree::Group(body)) = toks.get(i) {
+            match body.delimiter() {
+                Delimiter::Brace => {
+                    fields = parse_named_fields(body);
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    panic!("serde_derive: tuple variants are not supported (`{name}`)")
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, fields));
+        // Skip discriminants etc. up to the separating comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// `impl<S: ::serde::Trait>` + `Name<S>` headers for the generated impl.
+fn headers(input: &Input, trait_name: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounds: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        (
+            format!("<{}>", bounds.join(", ")),
+            format!("<{}>", input.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, ty_generics) = headers(input, "Serialize");
+    let name = &input.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{ \
+         fn to_value(&self) -> ::serde::Value {{ "
+    );
+    match &input.body {
+        Body::Struct(fields) => {
+            out.push_str(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                 = ::std::vec::Vec::new(); ",
+            );
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}))); "
+                );
+            }
+            out.push_str("::serde::Value::Obj(__fields) ");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self { ");
+            for (v, fields) in variants {
+                if fields.is_empty() {
+                    let _ = write!(
+                        out,
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")), "
+                    );
+                } else {
+                    let bindings = fields.join(", ");
+                    let _ = write!(out, "{name}::{v} {{ {bindings} }} => {{ ");
+                    out.push_str(
+                        "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                         ::serde::Value)> = ::std::vec::Vec::new(); ",
+                    );
+                    for f in fields {
+                        let _ = write!(
+                            out,
+                            "__fields.push((::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))); "
+                        );
+                    }
+                    let _ = write!(
+                        out,
+                        "::serde::Value::Obj(::std::vec::Vec::from([\
+                         (::std::string::String::from(\"{v}\"), \
+                         ::serde::Value::Obj(__fields))])) }} "
+                    );
+                }
+            }
+            out.push_str("} ");
+        }
+    }
+    out.push_str("} }");
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_generics, ty_generics) = headers(input, "Deserialize");
+    let name = &input.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ "
+    );
+    match &input.body {
+        Body::Struct(fields) => {
+            let _ = write!(
+                out,
+                "let __obj = __v.as_obj().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?; "
+            );
+            let _ = write!(out, "::std::result::Result::Ok({name} {{ ");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\"))?, "
+                );
+            }
+            out.push_str("}) ");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match __v { ");
+            // Unit variants arrive as plain strings.
+            out.push_str("::serde::Value::Str(__s) => match __s.as_str() { ");
+            for (v, fields) in variants {
+                if fields.is_empty() {
+                    let _ = write!(out, "\"{v}\" => ::std::result::Result::Ok({name}::{v}), ");
+                }
+            }
+            let _ = write!(
+                out,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant {{__other}}\"))), }}, "
+            );
+            // Struct variants arrive as single-entry objects.
+            out.push_str(
+                "::serde::Value::Obj(__entries) if __entries.len() == 1 => { \
+                 let (__tag, __inner) = &__entries[0]; match __tag.as_str() { ",
+            );
+            for (v, fields) in variants {
+                if fields.is_empty() {
+                    continue;
+                }
+                let _ = write!(
+                    out,
+                    "\"{v}\" => {{ let __obj = __inner.as_obj().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}::{v}\"))?; \
+                     ::std::result::Result::Ok({name}::{v} {{ "
+                );
+                for f in fields {
+                    let _ = write!(
+                        out,
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(__obj, \"{f}\"))?, "
+                    );
+                }
+                out.push_str("}) } ");
+            }
+            let _ = write!(
+                out,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant {{__other}}\"))), }} }}, "
+            );
+            let _ = write!(
+                out,
+                "_ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected enum {name}\")), }} "
+            );
+        }
+    }
+    out.push_str("} }");
+    out
+}
