@@ -1,0 +1,339 @@
+//! Pinned solver benchmark — `cargo xtask bench`.
+//!
+//! Measures the shrinking-network solver core against the legacy
+//! full-network path on a fixed instance sweep and writes a machine-readable
+//! report (schema `amf-bench-solver/v1`) with four sections:
+//!
+//! * `sweep` — per-point wall time (min of reps after a warm-up) for the
+//!   four solver arms, with work counters and an audit-agreement verdict;
+//! * `e8_400x20` — the headline point: contracted-with-arenas vs the legacy
+//!   path on the E8 400-job / 20-site instance, plus the speedup against
+//!   the pinned pre-optimization baseline;
+//! * `batch` — `solve_batch_with` thread-scaling sweep;
+//! * `kernels` — raw max-flow kernel micro-timings (Dinic vs push–relabel).
+//!
+//! Flags: `--smoke` (1 rep, small batch — CI wiring check), `--out PATH`
+//! (default `BENCH_solver.json` in the current directory).
+
+use amf_audit::audit;
+use amf_bench::experiments::skewed_workload;
+use amf_core::{AmfSolver, FairnessMode, FlowBackend, Instance, SolveOutput, SolverPool};
+use amf_flow::AllocationNetwork;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall time of the seed solver (mean of 3 reps) on the 400×20 E8 point,
+/// measured on this machine immediately before the shrinking-network work
+/// landed. The headline speedup is reported against this pin.
+const SEED_BASELINE_400X20_MS: f64 = 16.7257;
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    smoke: bool,
+    reps: usize,
+    hardware: Hardware,
+    sweep: Vec<SweepPoint>,
+    e8_400x20: Headline,
+    batch: BatchSection,
+    kernels: Vec<KernelTiming>,
+}
+
+#[derive(Serialize)]
+struct Hardware {
+    available_parallelism: usize,
+    note: String,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    jobs: usize,
+    sites: usize,
+    arms: Vec<ArmResult>,
+    /// Every arm audit-certified AMF and all aggregates agree within 1e-6.
+    audit_agreement: bool,
+}
+
+#[derive(Serialize)]
+struct ArmResult {
+    name: &'static str,
+    ms: f64,
+    rounds: usize,
+    max_flows: usize,
+    contractions: usize,
+    active_job_rounds: usize,
+    edges_visited: u64,
+    scratch_reuse_hits: u64,
+}
+
+#[derive(Serialize)]
+struct Headline {
+    jobs: usize,
+    sites: usize,
+    seed_baseline_ms: f64,
+    legacy_ms: f64,
+    contracted_ms: f64,
+    speedup_vs_seed_baseline: f64,
+    speedup_vs_legacy: f64,
+}
+
+#[derive(Serialize)]
+struct BatchSection {
+    instances: usize,
+    jobs: usize,
+    sites: usize,
+    points: Vec<BatchPoint>,
+}
+
+#[derive(Serialize)]
+struct BatchPoint {
+    threads: usize,
+    ms: f64,
+    speedup_vs_one_thread: f64,
+}
+
+#[derive(Serialize)]
+struct KernelTiming {
+    kernel: &'static str,
+    jobs: usize,
+    sites: usize,
+    ms: f64,
+    total_flow: f64,
+}
+
+/// The four solver configurations under measurement.
+fn arms() -> [(&'static str, AmfSolver); 4] {
+    [
+        ("legacy-full-dinic", AmfSolver::new().without_contraction()),
+        ("contracted-dinic", AmfSolver::new()),
+        (
+            "contracted-push-relabel",
+            AmfSolver::new().with_flow_backend(FlowBackend::PushRelabel),
+        ),
+        (
+            "contracted-auto",
+            AmfSolver::new().with_flow_backend(FlowBackend::Auto),
+        ),
+    ]
+}
+
+/// The E8 instance family: Zipf-skewed placement, contention held at 2×.
+fn e8_instance(n: usize, m: usize) -> Instance<f64> {
+    let mut workload = skewed_workload(1.2, n, m, m.min(5), 99);
+    workload.capacities = vec![15.0 * n as f64 / m as f64; m];
+    workload.instance()
+}
+
+/// Min-of-reps wall time through a persistent pool (one warm-up first).
+fn time_solver(solver: &AmfSolver, inst: &Instance<f64>, reps: usize) -> (f64, SolveOutput<f64>) {
+    let mut pool = SolverPool::new();
+    let mut out = solver.solve_with_pool(inst, &mut pool);
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = solver.solve_with_pool(inst, &mut pool);
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best_ms, out)
+}
+
+fn sweep_point(n: usize, m: usize, reps: usize) -> SweepPoint {
+    let inst = e8_instance(n, m);
+    let mut results = Vec::new();
+    let mut outputs: Vec<SolveOutput<f64>> = Vec::new();
+    for (name, solver) in arms() {
+        let (ms, out) = time_solver(&solver, &inst, reps);
+        results.push(ArmResult {
+            name,
+            ms,
+            rounds: out.stats.rounds,
+            max_flows: out.stats.max_flows,
+            contractions: out.stats.contractions,
+            active_job_rounds: out.stats.active_job_rounds,
+            edges_visited: out.stats.edges_visited,
+            scratch_reuse_hits: out.stats.scratch_reuse_hits,
+        });
+        outputs.push(out);
+    }
+    let mut agreement = true;
+    for out in &outputs {
+        if !audit(&inst, &out.allocation, FairnessMode::Plain).is_certified_amf() {
+            agreement = false;
+        }
+        for j in 0..inst.n_jobs() {
+            let a = out.allocation.aggregate(j);
+            let b = outputs[0].allocation.aggregate(j);
+            if (a - b).abs() > 1e-6 * (1.0 + a.abs().max(b.abs())) {
+                agreement = false;
+            }
+        }
+    }
+    SweepPoint {
+        jobs: n,
+        sites: m,
+        arms: results,
+        audit_agreement: agreement,
+    }
+}
+
+fn headline(reps: usize) -> Headline {
+    let inst = e8_instance(400, 20);
+    let (legacy_ms, _) = time_solver(&AmfSolver::new().without_contraction(), &inst, reps);
+    let (contracted_ms, _) = time_solver(&AmfSolver::new(), &inst, reps);
+    Headline {
+        jobs: 400,
+        sites: 20,
+        seed_baseline_ms: SEED_BASELINE_400X20_MS,
+        legacy_ms,
+        contracted_ms,
+        speedup_vs_seed_baseline: SEED_BASELINE_400X20_MS / contracted_ms,
+        speedup_vs_legacy: legacy_ms / contracted_ms,
+    }
+}
+
+fn batch_section(smoke: bool, reps: usize) -> BatchSection {
+    let (count, n, m) = if smoke { (4, 40, 8) } else { (16, 150, 12) };
+    let instances: Vec<Instance<f64>> = (0..count)
+        .map(|k| {
+            let mut workload = skewed_workload(1.2, n, m, m.min(5), 1000 + k as u64);
+            workload.capacities = vec![15.0 * n as f64 / m as f64; m];
+            workload.instance()
+        })
+        .collect();
+    let solver = AmfSolver::new();
+    let mut points = Vec::new();
+    let mut one_thread_ms = f64::INFINITY;
+    for threads in [1usize, 2, 4, 8] {
+        let _ = solver.solve_batch_with(&instances, threads);
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let outs = solver.solve_batch_with(&instances, threads);
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(outs.len(), instances.len());
+        }
+        if threads == 1 {
+            one_thread_ms = best_ms;
+        }
+        points.push(BatchPoint {
+            threads,
+            ms: best_ms,
+            speedup_vs_one_thread: one_thread_ms / best_ms,
+        });
+    }
+    BatchSection {
+        instances: count,
+        jobs: n,
+        sites: m,
+        points,
+    }
+}
+
+fn kernel_timings(smoke: bool, reps: usize) -> Vec<KernelTiming> {
+    let (n, m) = if smoke { (60, 10) } else { (400, 20) };
+    let inst = e8_instance(n, m);
+    let mut timings = Vec::new();
+    for (kernel, backend) in [
+        ("dinic", FlowBackend::Dinic),
+        ("push_relabel", FlowBackend::PushRelabel),
+    ] {
+        let mut net =
+            AllocationNetwork::new(inst.demands(), inst.capacities()).with_backend(backend);
+        for j in 0..inst.n_jobs() {
+            let cap: f64 = inst.demands()[j].iter().sum();
+            net.set_job_cap(j, cap);
+        }
+        // Warm-up sizes the scratch arena; the timed reps run allocation-free.
+        net.reset_flow();
+        let mut total_flow = net.run_max_flow();
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..reps {
+            net.reset_flow();
+            let t0 = Instant::now();
+            total_flow = net.run_max_flow();
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        timings.push(KernelTiming {
+            kernel,
+            jobs: n,
+            sites: m,
+            ms: best_ms,
+            total_flow,
+        });
+    }
+    timings
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_solver.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: bench_solver [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = if smoke { 1 } else { 5 };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let sweep_points: &[(usize, usize)] = &[(50, 20), (100, 20), (200, 20), (400, 20), (400, 5)];
+    eprintln!(
+        "bench_solver: sweep ({} points, {reps} reps)...",
+        sweep_points.len()
+    );
+    let sweep: Vec<SweepPoint> = sweep_points
+        .iter()
+        .map(|&(n, m)| sweep_point(n, m, reps))
+        .collect();
+    eprintln!("bench_solver: headline 400x20...");
+    let e8 = headline(reps);
+    eprintln!("bench_solver: batch thread sweep...");
+    let batch = batch_section(smoke, reps);
+    eprintln!("bench_solver: kernel micro-timings...");
+    let kernels = kernel_timings(smoke, reps);
+
+    let report = Report {
+        schema: "amf-bench-solver/v1",
+        smoke,
+        reps,
+        hardware: Hardware {
+            available_parallelism: threads,
+            note: format!(
+                "std::thread::available_parallelism() = {threads}; batch scaling beyond \
+                 that worker count measures scheduling overhead, not parallel speedup"
+            ),
+        },
+        sweep,
+        e8_400x20: e8,
+        batch,
+        kernels,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write benchmark report");
+    println!(
+        "wrote {out_path}: 400x20 contracted {:.4} ms vs legacy {:.4} ms ({:.2}x), \
+         {:.2}x vs pinned seed baseline {:.4} ms",
+        report.e8_400x20.contracted_ms,
+        report.e8_400x20.legacy_ms,
+        report.e8_400x20.speedup_vs_legacy,
+        report.e8_400x20.speedup_vs_seed_baseline,
+        SEED_BASELINE_400X20_MS,
+    );
+    for point in &report.sweep {
+        assert!(
+            point.audit_agreement,
+            "audit disagreement at {}x{}",
+            point.jobs, point.sites
+        );
+    }
+}

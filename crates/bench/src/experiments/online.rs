@@ -1,9 +1,9 @@
 //! E7 — online simulation with Poisson arrivals across offered loads.
 
 use crate::ExpContext;
-use amf_core::{AllocationPolicy, AmfSolver, PerSiteMaxMin};
+use amf_core::{AllocationPolicy, AmfSolver, PerSiteMaxMin, PooledAmf};
 use amf_metrics::{fmt2, fmt4, percentile, Table};
-use amf_sim::{simulate, SimConfig, SplitStrategy};
+use amf_sim::{simulate_many, SimConfig, SplitStrategy};
 use amf_workload::arrivals::{poisson_arrivals, rate_for_load};
 use amf_workload::trace::Trace;
 use amf_workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
@@ -71,7 +71,9 @@ pub fn online_load(ctx: &ExpContext, params: &OnlineParams) -> Table {
     let contenders: Vec<Contender> = vec![
         (
             "amf+jct",
-            || Box::new(AmfSolver::new()),
+            // Pooled: the simulator re-solves on every scheduling event,
+            // so the flow arena and per-round buffers are reused per run.
+            || Box::new(PooledAmf::<f64>::new(AmfSolver::new())),
             SimConfig {
                 split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
                 ..SimConfig::default()
@@ -92,32 +94,36 @@ pub fn online_load(ctx: &ExpContext, params: &OnlineParams) -> Table {
         .par_iter()
         .flat_map_iter(|&rho| {
             let mut acc = vec![(0.0f64, 0.0f64, 0.0f64); contenders.len()];
-            for seed in 0..params.seeds {
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31) + 17);
-                let workload = WorkloadConfig {
-                    n_sites: params.n_sites,
-                    site_capacity: 100.0,
-                    capacity_model: CapacityModel::Uniform,
-                    n_jobs: params.n_jobs,
-                    sites_per_job: params.sites_per_job,
-                    total_work: SizeDist::Exponential {
-                        mean: params.mean_work,
-                    },
-                    total_parallelism: SizeDist::Constant { value: 30.0 },
-                    skew: SiteSkew::Zipf {
-                        alpha: params.alpha,
-                    },
-                    placement: SitePlacement::Popularity { gamma: 1.0 },
-                    demand_model: DemandModel::ElasticPerSite,
-                }
-                .generate(&mut rng);
-                let total_capacity = 100.0 * params.n_sites as f64;
-                let rate = rate_for_load(rho, total_capacity, params.mean_work);
-                let arrivals = poisson_arrivals(params.n_jobs, rate, &mut rng);
-                let trace = Trace::with_arrivals(&workload, &arrivals);
-                for (c, (_, make_policy, config)) in contenders.iter().enumerate() {
-                    let policy = make_policy();
-                    let report = simulate(&trace, policy.as_ref(), config);
+            // Build every seed's trace up front, then fan the batch out to
+            // worker threads (one pooled policy instance per worker).
+            let traces: Vec<Trace> = (0..params.seeds)
+                .map(|seed| {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31) + 17);
+                    let workload = WorkloadConfig {
+                        n_sites: params.n_sites,
+                        site_capacity: 100.0,
+                        capacity_model: CapacityModel::Uniform,
+                        n_jobs: params.n_jobs,
+                        sites_per_job: params.sites_per_job,
+                        total_work: SizeDist::Exponential {
+                            mean: params.mean_work,
+                        },
+                        total_parallelism: SizeDist::Constant { value: 30.0 },
+                        skew: SiteSkew::Zipf {
+                            alpha: params.alpha,
+                        },
+                        placement: SitePlacement::Popularity { gamma: 1.0 },
+                        demand_model: DemandModel::ElasticPerSite,
+                    }
+                    .generate(&mut rng);
+                    let total_capacity = 100.0 * params.n_sites as f64;
+                    let rate = rate_for_load(rho, total_capacity, params.mean_work);
+                    let arrivals = poisson_arrivals(params.n_jobs, rate, &mut rng);
+                    Trace::with_arrivals(&workload, &arrivals)
+                })
+                .collect();
+            for (c, (_, make_policy, config)) in contenders.iter().enumerate() {
+                for report in simulate_many(&traces, make_policy, config) {
                     let jcts = report.jcts();
                     acc[c].0 += report.mean_jct();
                     acc[c].1 += percentile(&jcts, 95.0);

@@ -58,21 +58,24 @@ pub fn solver_runtime(ctx: &ExpContext, params: &RuntimeParams) -> Table {
             workload.capacities = vec![site_capacity; m];
             let inst = workload.instance();
             let solver = AmfSolver::new();
-            // Warm-up.
+            // Warm-up rep (excluded from timing).
             let _ = solver.solve(&inst);
-            let mut total_ms = 0.0;
+            // Min of reps: wall-clock minimum is the standard noise-robust
+            // point estimate for deterministic workloads (mean smears in
+            // scheduler jitter, which is strictly additive).
+            let mut best_ms = f64::INFINITY;
             let mut stats = None;
             for _ in 0..params.reps {
                 let t0 = Instant::now();
                 let out = solver.solve(&inst);
-                total_ms += t0.elapsed().as_secs_f64() * 1e3;
+                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
                 stats = Some(out.stats);
             }
             let stats = stats.expect("at least one rep");
             table.row(vec![
                 n.to_string(),
                 m.to_string(),
-                fmt4(total_ms / params.reps as f64),
+                fmt4(best_ms),
                 stats.rounds.to_string(),
                 stats.max_flows.to_string(),
             ]);

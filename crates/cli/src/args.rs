@@ -9,7 +9,8 @@ amf — Aggregate Max-min Fair resource allocation (ICPP 2019 reproduction)
 USAGE:
     amf gen      --jobs N --sites M [--alpha A] [--sites-per-job K]
                  [--seed S] [--load RHO]        # emit a trace (JSON, stdout)
-    amf solve    [--policy P] [--explain] [--dot] < trace.json
+    amf solve    [--policy P] [--backend dinic|push-relabel|auto]
+                 [--no-contraction] [--explain] [--dot] < trace.json
                                                 # allocation table / DOT graph
     amf simulate [--policy P] [--jct-addon] [--engine fluid|slots]
                  < trace.json
@@ -29,6 +30,9 @@ POLICIES:
 NOTES:
     gen: --alpha sets Zipf skew of per-job site shares (default 0 = uniform);
          --load RHO adds Poisson arrivals at offered load RHO (default: batch).
+    solve: --backend picks the max-flow kernel (default dinic) and
+         --no-contraction disables the shrinking-network optimization;
+         both apply to AMF policies only and never change the allocation.
 ";
 
 /// Parameters of `amf gen`.
@@ -53,6 +57,11 @@ pub struct GenParams {
 pub struct SolveParams {
     /// Policy name.
     pub policy: String,
+    /// Max-flow kernel ("dinic"/"push-relabel"/"auto"; None = solver
+    /// default). AMF policies only.
+    pub backend: Option<String>,
+    /// Disable the shrinking-network contraction (AMF policies only).
+    pub no_contraction: bool,
     /// Print the freeze-round explanation (AMF policies only).
     pub explain: bool,
     /// Emit a Graphviz DOT graph of the allocation instead of the table.
@@ -161,11 +170,23 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 },
             }))
         }
-        Some("solve") => Ok(Command::Solve(SolveParams {
-            policy: value_of(&argv[1..], "--policy")?.unwrap_or_else(|| "amf".into()),
-            explain: argv[1..].iter().any(|a| a == "--explain"),
-            dot: argv[1..].iter().any(|a| a == "--dot"),
-        })),
+        Some("solve") => {
+            let backend = value_of(&argv[1..], "--backend")?;
+            if let Some(b) = &backend {
+                if b != "dinic" && b != "push-relabel" && b != "auto" {
+                    return Err(ParseError(format!(
+                        "unknown backend: {b} (try dinic, push-relabel, auto)"
+                    )));
+                }
+            }
+            Ok(Command::Solve(SolveParams {
+                policy: value_of(&argv[1..], "--policy")?.unwrap_or_else(|| "amf".into()),
+                backend,
+                no_contraction: argv[1..].iter().any(|a| a == "--no-contraction"),
+                explain: argv[1..].iter().any(|a| a == "--explain"),
+                dot: argv[1..].iter().any(|a| a == "--dot"),
+            }))
+        }
         Some("simulate") => {
             let engine = value_of(&argv[1..], "--engine")?.unwrap_or_else(|| "fluid".into());
             if engine != "fluid" && engine != "slots" {
@@ -265,6 +286,8 @@ mod tests {
             parse(&sv(&["solve"])).unwrap(),
             Command::Solve(SolveParams {
                 policy: "amf".into(),
+                backend: None,
+                no_contraction: false,
                 explain: false,
                 dot: false,
             })
@@ -273,10 +296,29 @@ mod tests {
             parse(&sv(&["solve", "--explain"])).unwrap(),
             Command::Solve(SolveParams {
                 policy: "amf".into(),
+                backend: None,
+                no_contraction: false,
                 explain: true,
                 dot: false,
             })
         );
+        assert_eq!(
+            parse(&sv(&[
+                "solve",
+                "--backend",
+                "push-relabel",
+                "--no-contraction"
+            ]))
+            .unwrap(),
+            Command::Solve(SolveParams {
+                policy: "amf".into(),
+                backend: Some("push-relabel".into()),
+                no_contraction: true,
+                explain: false,
+                dot: false,
+            })
+        );
+        assert!(parse(&sv(&["solve", "--backend", "bfs"])).is_err());
         assert_eq!(
             parse(&sv(&[
                 "simulate",

@@ -67,12 +67,14 @@ mod reference;
 pub mod solver;
 mod water;
 
+pub use amf_flow::FlowBackend;
 pub use baselines::{pooled_max_min_bound, EqualDivision, PerSiteMaxMin, ProportionalToDemand};
 pub use dot::to_dot;
 pub use model::{Allocation, Instance, ModelError};
-pub use policy::AllocationPolicy;
+pub use policy::{AllocationPolicy, PooledAmf};
 pub use reference::{reference_aggregates, MAX_REFERENCE_JOBS};
 pub use solver::{
-    AmfSolver, BottleneckStrategy, FairnessMode, FreezeReason, FreezeRound, SolveOutput, SolveStats,
+    AmfSolver, BottleneckStrategy, FairnessMode, FreezeReason, FreezeRound, SolveOutput,
+    SolveStats, SolverPool,
 };
 pub use water::{water_fill, water_fill_weighted};

@@ -25,8 +25,22 @@
 //!    or has no residual path to the sink (it sits in a tight set and can
 //!    never grow). At least one job freezes per round, so there are at most
 //!    `n` rounds.
-//! 4. A final max flow with source caps fixed to the frozen aggregates
-//!    yields one feasible per-site split.
+//!
+//! # The shrinking network
+//!
+//! By default the solver **contracts** the allocation network after every
+//! freeze round. Frozen jobs and sink-unreachable sites can never gain or
+//! lose flow at any later water level (no augmenting path traverses a node
+//! without a residual path to the sink, and additional flow injected by
+//! raising an *active* job's source cap stays inside the sink-reachable
+//! set), so their per-site splits are committed immediately; the flows
+//! active jobs hold at removed sites fold into a per-job `base` offset and
+//! the committed usage at surviving sites folds into *residual site
+//! budgets*. Round `k` then runs its max flows on only the still-active
+//! jobs × still-growable sites subgraph, which shrinks geometrically on
+//! typical workloads. The legacy full-network path is kept behind
+//! [`AmfSolver::without_contraction`] for the ablation benches, and a
+//! property test cross-checks the two bit-for-bit on exact rationals.
 //!
 //! With the exact [`Rational`](amf_numeric::Rational) scalar the result is
 //! the exact AMF vector (cross-checked against brute-force subset
@@ -35,8 +49,9 @@
 
 use crate::levels::{invert_total, LevelCap};
 use crate::model::{Allocation, Instance};
-use amf_flow::AllocationNetwork;
+use amf_flow::{AllocationNetwork, FlowBackend, FlowScratch};
 use amf_numeric::{max2, min2, sum, Scalar};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which fairness objective the solver computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,11 +93,24 @@ pub struct SolveStats {
     pub rounds: usize,
     /// Total Dinkelbach (feasibility) iterations across rounds.
     pub dinkelbach_iterations: usize,
-    /// Total max-flow computations, including the final split extraction.
+    /// Total max-flow computations, including any final split extraction.
     pub max_flows: usize,
     /// Feasibility checks that had to discard the previous flow (always
     /// equals `max_flows` when warm starts are disabled).
     pub flow_resets: usize,
+    /// Network contractions performed (0 on the legacy full path).
+    pub contractions: usize,
+    /// Sum over rounds of the number of jobs still in the working network —
+    /// the contracted path's shrinking advantage shows up here.
+    pub active_job_rounds: usize,
+    /// Sum over rounds of the number of sites still in the working network.
+    pub active_site_rounds: usize,
+    /// Residual-graph edge inspections performed by the flow kernels and
+    /// reachability sweeps (from the [`FlowScratch`] counters).
+    pub edges_visited: u64,
+    /// Times a kernel invocation found its scratch arena already sized —
+    /// i.e. ran allocation-free.
+    pub scratch_reuse_hits: u64,
 }
 
 /// Result of an AMF solve: the allocation, the frozen levels, and stats.
@@ -97,21 +125,6 @@ pub struct SolveOutput<S> {
     pub stats: SolveStats,
 }
 
-/// The AMF solver. Construct with [`AmfSolver::new`] (plain) or
-/// [`AmfSolver::enhanced`], then call [`AmfSolver::solve`].
-///
-/// ```
-/// use amf_core::{AmfSolver, Instance};
-/// // Two sites of capacity 6 and 2; job 0 lives only at site 0, job 1 at
-/// // both. AMF equalizes the aggregates at 4 each.
-/// let inst = Instance::new(
-///     vec![6.0, 2.0],
-///     vec![vec![6.0, 0.0], vec![6.0, 2.0]],
-/// ).unwrap();
-/// let out = AmfSolver::new().solve(&inst);
-/// assert!((out.allocation.aggregate(0) - 4.0).abs() < 1e-9);
-/// assert!((out.allocation.aggregate(1) - 4.0).abs() < 1e-9);
-/// ```
 /// How the solver locates the largest feasible water level each round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BottleneckStrategy {
@@ -130,14 +143,81 @@ pub enum BottleneckStrategy {
     },
 }
 
+/// Reusable working memory for [`AmfSolver::solve_with_pool`].
+///
+/// Holds the flow kernels' [`FlowScratch`] arena plus every per-round
+/// buffer the solver needs (cap vectors, cut/reachability masks, preload
+/// and split matrices), so a pooled solve performs no per-check heap
+/// allocation once the buffers have grown to the instance size. One pool
+/// serves any number of sequential solves of any sizes; it is `Send`, so
+/// [`AmfSolver::solve_batch`] hands one to each worker thread.
+#[derive(Debug)]
+pub struct SolverPool<S> {
+    scratch: FlowScratch<S>,
+    us: Vec<S>,
+    side: Vec<bool>,
+    grow_jobs: Vec<bool>,
+    grow_sites: Vec<bool>,
+    freeze: Vec<bool>,
+    members: Vec<LevelCap<S>>,
+    preload: Vec<Vec<S>>,
+    demands_buf: Vec<Vec<S>>,
+    split: Vec<Vec<S>>,
+    frozen_usage: Vec<S>,
+}
+
+impl<S: Scalar> SolverPool<S> {
+    /// An empty pool; buffers grow on first use.
+    pub fn new() -> Self {
+        SolverPool {
+            scratch: FlowScratch::new(),
+            us: Vec::new(),
+            side: Vec::new(),
+            grow_jobs: Vec::new(),
+            grow_sites: Vec::new(),
+            freeze: Vec::new(),
+            members: Vec::new(),
+            preload: Vec::new(),
+            demands_buf: Vec::new(),
+            split: Vec::new(),
+            frozen_usage: Vec::new(),
+        }
+    }
+
+    /// The kernel scratch arena, for reading its diagnostic counters.
+    pub fn scratch(&self) -> &FlowScratch<S> {
+        &self.scratch
+    }
+}
+
+impl<S: Scalar> Default for SolverPool<S> {
+    fn default() -> Self {
+        SolverPool::new()
+    }
+}
+
 /// The AMF solver: progressive filling with flow-based bottleneck
-/// detection. See the [module docs](self) for the algorithm and
-/// [`AmfSolver::new`]'s example for usage.
+/// detection. See the [module docs](self) for the algorithm.
+///
+/// ```
+/// use amf_core::{AmfSolver, Instance};
+/// // Two sites of capacity 6 and 2; job 0 lives only at site 0, job 1 at
+/// // both. AMF equalizes the aggregates at 4 each.
+/// let inst = Instance::new(
+///     vec![6.0, 2.0],
+///     vec![vec![6.0, 0.0], vec![6.0, 2.0]],
+/// ).unwrap();
+/// let out = AmfSolver::new().solve(&inst);
+/// assert!((out.allocation.aggregate(0) - 4.0).abs() < 1e-9);
+/// assert!((out.allocation.aggregate(1) - 4.0).abs() < 1e-9);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct AmfSolver {
     mode: FairnessMode,
     warm_start: bool,
     bottleneck: BottleneckStrategy,
+    backend: FlowBackend,
+    contraction: bool,
 }
 
 impl Default for AmfSolver {
@@ -153,6 +233,8 @@ impl AmfSolver {
             mode: FairnessMode::Plain,
             warm_start: true,
             bottleneck: BottleneckStrategy::Dinkelbach,
+            backend: FlowBackend::default(),
+            contraction: true,
         }
     }
 
@@ -160,8 +242,7 @@ impl AmfSolver {
     pub fn enhanced() -> Self {
         AmfSolver {
             mode: FairnessMode::Enhanced,
-            warm_start: true,
-            bottleneck: BottleneckStrategy::Dinkelbach,
+            ..AmfSolver::new()
         }
     }
 
@@ -179,25 +260,125 @@ impl AmfSolver {
         self
     }
 
+    /// Disable network contraction: every round runs its max flows on the
+    /// full jobs × sites network, as the original solver did. The result
+    /// is identical; this exists for the contraction ablation bench.
+    pub fn without_contraction(mut self) -> Self {
+        self.contraction = false;
+        self
+    }
+
+    /// Select the max-flow kernel (see [`FlowBackend`]; default Dinic).
+    pub fn with_flow_backend(mut self, backend: FlowBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The configured mode.
     pub fn mode(&self) -> FairnessMode {
         self.mode
     }
 
-    /// Compute the AMF allocation for `inst`.
-    pub fn solve<S: Scalar>(&self, inst: &Instance<S>) -> SolveOutput<S> {
-        let n = inst.n_jobs();
-        let mut stats = SolveStats::default();
-        if n == 0 {
-            return SolveOutput {
-                allocation: Allocation::from_split(Vec::new()),
-                rounds: Vec::new(),
-                stats,
-            };
-        }
+    /// The configured max-flow backend.
+    pub fn flow_backend(&self) -> FlowBackend {
+        self.backend
+    }
 
-        // Per-job cap functions.
-        let caps: Vec<LevelCap<S>> = (0..n)
+    /// Whether the shrinking-network path is enabled (default true).
+    pub fn contraction_enabled(&self) -> bool {
+        self.contraction
+    }
+
+    /// Compute the AMF allocation for `inst`.
+    ///
+    /// Allocates a private [`SolverPool`]; callers solving many instances
+    /// should hold one and use [`solve_with_pool`](Self::solve_with_pool)
+    /// (or [`solve_batch`](Self::solve_batch)) instead.
+    pub fn solve<S: Scalar>(&self, inst: &Instance<S>) -> SolveOutput<S> {
+        let mut pool = SolverPool::new();
+        self.solve_with_pool(inst, &mut pool)
+    }
+
+    /// [`solve`](Self::solve) with caller-provided working memory. The
+    /// result is identical; repeated calls reuse the pool's buffers and
+    /// scratch arena instead of reallocating them.
+    pub fn solve_with_pool<S: Scalar>(
+        &self,
+        inst: &Instance<S>,
+        pool: &mut SolverPool<S>,
+    ) -> SolveOutput<S> {
+        if self.contraction {
+            self.solve_contracted(inst, pool)
+        } else {
+            self.solve_full(inst, pool)
+        }
+    }
+
+    /// Solve many instances, in parallel when the host has multiple cores.
+    ///
+    /// Output order matches input order, and each output is identical to a
+    /// standalone [`solve`](Self::solve) of that instance. Worker threads
+    /// pull instances off a shared index and each owns one [`SolverPool`],
+    /// so arenas are reused within a thread and never contended across
+    /// threads.
+    pub fn solve_batch<S: Scalar>(&self, insts: &[Instance<S>]) -> Vec<SolveOutput<S>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.solve_batch_with(insts, threads)
+    }
+
+    /// [`solve_batch`](Self::solve_batch) with an explicit worker-thread
+    /// count (clamped to `[1, insts.len()]`; 1 means fully sequential).
+    pub fn solve_batch_with<S: Scalar>(
+        &self,
+        insts: &[Instance<S>],
+        threads: usize,
+    ) -> Vec<SolveOutput<S>> {
+        let threads = threads.max(1).min(insts.len().max(1));
+        if threads <= 1 {
+            let mut pool = SolverPool::new();
+            return insts
+                .iter()
+                .map(|inst| self.solve_with_pool(inst, &mut pool))
+                .collect();
+        }
+        let solver = *self;
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<SolveOutput<S>>> = (0..insts.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut pool = SolverPool::new();
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= insts.len() {
+                                break;
+                            }
+                            done.push((i, solver.solve_with_pool(&insts[i], &mut pool)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, out) in handle.join().expect("solver worker panicked") {
+                    slots[i] = Some(out);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every instance solved"))
+            .collect()
+    }
+
+    /// Per-job cap functions for `inst` under the configured mode.
+    fn build_caps<S: Scalar>(&self, inst: &Instance<S>) -> Vec<LevelCap<S>> {
+        (0..inst.n_jobs())
             .map(|j| {
                 let ceil = inst.total_demand(j);
                 let floor = match self.mode {
@@ -208,8 +389,41 @@ impl AmfSolver {
                 };
                 LevelCap::new(inst.weight(j), floor, ceil)
             })
-            .collect();
+            .collect()
+    }
 
+    /// The shrinking-network solve (default path). See the module docs for
+    /// why committing frozen splits and contracting dead sites is exact.
+    fn solve_contracted<S: Scalar>(
+        &self,
+        inst: &Instance<S>,
+        pool: &mut SolverPool<S>,
+    ) -> SolveOutput<S> {
+        let n = inst.n_jobs();
+        let m = inst.n_sites();
+        let mut stats = SolveStats::default();
+        if n == 0 {
+            return SolveOutput {
+                allocation: Allocation::from_split(Vec::new()),
+                rounds: Vec::new(),
+                stats,
+            };
+        }
+        let SolverPool {
+            scratch,
+            us,
+            side,
+            grow_jobs,
+            grow_sites,
+            freeze,
+            members,
+            preload,
+            demands_buf,
+            split,
+            frozen_usage,
+        } = pool;
+
+        let caps = self.build_caps(inst);
         // `None` = active, `Some(a)` = frozen at aggregate `a`.
         let mut frozen: Vec<Option<S>> = caps
             .iter()
@@ -222,11 +436,417 @@ impl AmfSolver {
             })
             .collect();
 
-        let mut net = AllocationNetwork::new(inst.demands(), inst.capacities());
+        // The committed split accumulates here as the network shrinks; its
+        // backing rows come from the pool and leave inside the returned
+        // `Allocation` (the one unavoidable allocation of the result).
+        split.resize(n, Vec::new());
+        for row in split.iter_mut() {
+            row.clear();
+            row.resize(m, S::ZERO);
+        }
+
+        // Active subproblem: original indices of live jobs/sites, the flow
+        // each live job has already committed at removed sites (`base`),
+        // and the residual budget of each live site (`cur_caps`, satellite
+        // invariant: cur_caps[k] + committed_at(act_sites[k]) == c_s).
+        let mut act_jobs: Vec<usize> = (0..n).filter(|&j| frozen[j].is_none()).collect();
+        let mut act_sites: Vec<usize> = (0..m).collect();
+        let mut base: Vec<S> = vec![S::ZERO; act_jobs.len()];
+        let mut cur_caps: Vec<S> = inst.capacities().to_vec();
+
+        let arena = std::mem::take(scratch);
+        let edges0 = arena.edges_visited();
+        let reuse0 = arena.reuse_hits();
+        demands_buf.resize(act_jobs.len(), Vec::new());
+        for (i, &j) in act_jobs.iter().enumerate() {
+            let row = &mut demands_buf[i];
+            row.clear();
+            row.extend((0..m).map(|s| inst.demand(j, s)));
+        }
+        let mut net =
+            AllocationNetwork::new_with_scratch(demands_buf, &cur_caps, self.backend, arena);
+
+        let mut rounds: Vec<FreezeRound<S>> = Vec::new();
+
+        while !act_jobs.is_empty() {
+            stats.rounds += 1;
+            stats.active_job_rounds += act_jobs.len();
+            stats.active_site_rounds += act_sites.len();
+
+            // Upper bound: the level at which every active job is at its
+            // ceiling (u_j flat beyond its high breakpoint).
+            let mut t = S::ZERO;
+            for &j in &act_jobs {
+                t = max2(t, caps[j].high_breakpoint());
+            }
+
+            // Bisection pre-bracketing (ablation mode): narrow [lo, hi]
+            // by halving before the exact Dinkelbach tail.
+            if let BottleneckStrategy::Bisection { iterations } = self.bottleneck {
+                let mut lo = S::ZERO;
+                let mut hi = t;
+                stats.max_flows += 1;
+                let (flow, target) = self
+                    .check_level_contracted(&mut net, &caps, &act_jobs, &base, hi, &mut stats, us);
+                if !close_rel(flow, target) {
+                    for _ in 0..iterations {
+                        let mid = (lo + hi) / S::from_usize(2);
+                        stats.max_flows += 1;
+                        let (flow, target) = self.check_level_contracted(
+                            &mut net, &caps, &act_jobs, &base, mid, &mut stats, us,
+                        );
+                        if close_rel(flow, target) {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    // Resume the exact tail from the infeasible side.
+                    t = hi;
+                    let _ = lo;
+                }
+            }
+
+            // Dinkelbach descent to the largest feasible level. When the
+            // loop exits on a feasible check the network already holds the
+            // max flow at t*, so the legacy re-check is skipped.
+            let mut at_t_star = false;
+            let t_star = loop {
+                stats.dinkelbach_iterations += 1;
+                stats.max_flows += 1;
+                let (flow, target) = self
+                    .check_level_contracted(&mut net, &caps, &act_jobs, &base, t, &mut stats, us);
+                if close_rel(flow, target) {
+                    at_t_star = true;
+                    break t;
+                }
+                // Infeasible: the min cut names the violating job set J.
+                // The tight level satisfies Σ_{i∈J} u_i(t') = f'(J) + Σ base,
+                // with f' the rank of the *contracted* network — the
+                // incremental form of the legacy full-network residual
+                // budget, checked against the invariant in debug builds.
+                net.source_side_jobs_into(side);
+                debug_assert!(
+                    residual_budget_agrees(inst, &act_sites, &cur_caps, split),
+                    "incrementally maintained site budgets drifted from c_s - committed"
+                );
+                let mut budget = contracted_rank(inst, &act_jobs, &act_sites, &cur_caps, side);
+                for (i, &inside) in side.iter().enumerate() {
+                    if inside {
+                        budget += base[i];
+                    }
+                }
+                members.clear();
+                members.extend(
+                    side.iter()
+                        .enumerate()
+                        .filter(|&(_, &inside)| inside)
+                        .map(|(i, _)| caps[act_jobs[i]]),
+                );
+                debug_assert!(
+                    !members.is_empty(),
+                    "violating set without active jobs: frozen state infeasible"
+                );
+                let t_next = invert_total(members, budget);
+                if !t_next.definitely_lt(t) {
+                    // No numerical progress (f64 only): accept the current
+                    // level; the freeze step below still terminates.
+                    break t_next;
+                }
+                t = t_next;
+            };
+
+            if !at_t_star {
+                // Re-establish the max flow at t_star (only needed when the
+                // loop exited on a lowered level without re-checking).
+                stats.max_flows += 1;
+                let (flow, target) = self.check_level_contracted(
+                    &mut net, &caps, &act_jobs, &base, t_star, &mut stats, us,
+                );
+                debug_assert!(
+                    close_rel(flow, target),
+                    "level t*={t_star} must be feasible (flow {flow}, target {target})"
+                );
+            }
+
+            // Freeze demand-capped jobs and bottlenecked jobs.
+            net.sink_reachability_into(grow_jobs, grow_sites);
+            freeze.clear();
+            freeze.resize(act_jobs.len(), false);
+            let mut round = FreezeRound {
+                level: t_star,
+                frozen: Vec::new(),
+            };
+            for (i, &j) in act_jobs.iter().enumerate() {
+                let u = caps[j].at(t_star);
+                if !u.definitely_lt(caps[j].ceil) {
+                    frozen[j] = Some(caps[j].ceil);
+                    round.frozen.push((j, FreezeReason::DemandCapped));
+                    freeze[i] = true;
+                } else if !grow_jobs[i] {
+                    frozen[j] = Some(u);
+                    round.frozen.push((j, FreezeReason::Bottlenecked));
+                    freeze[i] = true;
+                }
+            }
+            if round.frozen.is_empty() {
+                // Safety net for f64 rounding: freeze everything at the
+                // current level rather than loop forever. Unreachable with
+                // exact arithmetic (a maximal feasible level always has a
+                // tight set).
+                debug_assert!(!S::EXACT, "exact solve failed to freeze a job");
+                for (i, &j) in act_jobs.iter().enumerate() {
+                    frozen[j] = Some(caps[j].at(t_star));
+                    round.frozen.push((j, FreezeReason::Bottlenecked));
+                    freeze[i] = true;
+                }
+            }
+            rounds.push(round);
+
+            let n_frozen_now = freeze.iter().filter(|&&b| b).count();
+            if n_frozen_now == act_jobs.len() {
+                // Last round: commit every remaining split and finish.
+                for (i, &j) in act_jobs.iter().enumerate() {
+                    for (k, v) in net.job_split(i) {
+                        if v.is_positive() {
+                            split[j][act_sites[k]] += v;
+                        }
+                    }
+                }
+                act_jobs.clear();
+                continue;
+            }
+
+            // Contract: commit frozen jobs' splits (their flows can never
+            // change again), fold survivors' flows at dying sites into
+            // `base`, shrink the site budgets, and rebuild the network over
+            // the survivors with the warm flow preloaded.
+            stats.contractions += 1;
+            frozen_usage.clear();
+            frozen_usage.resize(act_sites.len(), S::ZERO);
+            for (i, &j) in act_jobs.iter().enumerate() {
+                if freeze[i] {
+                    for (k, v) in net.job_split(i) {
+                        if v.is_positive() {
+                            split[j][act_sites[k]] += v;
+                            frozen_usage[k] += v;
+                        }
+                    }
+                }
+            }
+            // A site survives iff it can still absorb flow (residual path
+            // to the sink) and some surviving job has demand there.
+            let keep_site: Vec<bool> = (0..act_sites.len())
+                .map(|k| {
+                    grow_sites[k]
+                        && act_jobs
+                            .iter()
+                            .enumerate()
+                            .any(|(i, &j)| !freeze[i] && inst.demand(j, act_sites[k]).is_positive())
+                })
+                .collect();
+            let mut new_act_jobs = Vec::with_capacity(act_jobs.len() - n_frozen_now);
+            let mut new_base = Vec::with_capacity(act_jobs.len() - n_frozen_now);
+            for (i, &j) in act_jobs.iter().enumerate() {
+                if freeze[i] {
+                    continue;
+                }
+                let mut b = base[i];
+                for (k, v) in net.job_split(i) {
+                    if !keep_site[k] && v.is_positive() {
+                        split[j][act_sites[k]] += v;
+                        b += v;
+                    }
+                }
+                new_act_jobs.push(j);
+                new_base.push(b);
+            }
+            let mut site_map = vec![usize::MAX; act_sites.len()];
+            let mut new_act_sites = Vec::new();
+            let mut new_caps = Vec::new();
+            for (k, &s) in act_sites.iter().enumerate() {
+                if keep_site[k] {
+                    site_map[k] = new_act_sites.len();
+                    new_act_sites.push(s);
+                    new_caps.push(max2(cur_caps[k] - frozen_usage[k], S::ZERO));
+                }
+            }
+            demands_buf.resize(new_act_jobs.len(), Vec::new());
+            for (i2, &j) in new_act_jobs.iter().enumerate() {
+                let row = &mut demands_buf[i2];
+                row.clear();
+                row.extend(new_act_sites.iter().map(|&s| inst.demand(j, s)));
+            }
+            // Survivors' flows at kept sites become the successor's warm
+            // start: restricted to the kept subgraph they stay feasible.
+            preload.resize(new_act_jobs.len(), Vec::new());
+            let mut i2 = 0;
+            for (i, _) in act_jobs.iter().enumerate() {
+                if freeze[i] {
+                    continue;
+                }
+                let row = &mut preload[i2];
+                row.clear();
+                row.resize(new_act_sites.len(), S::ZERO);
+                for (k, v) in net.job_split(i) {
+                    if keep_site[k] && v.is_positive() {
+                        row[site_map[k]] = v;
+                    }
+                }
+                i2 += 1;
+            }
+            let arena = net.take_scratch();
+            net = AllocationNetwork::new_with_scratch(demands_buf, &new_caps, self.backend, arena);
+            if self.warm_start {
+                // Job caps start at zero; raise each to its preloaded total
+                // (summed in `preload_split`'s own edge order so the f64
+                // results are bitwise identical) before pushing the flow.
+                for (i3, row) in preload.iter().enumerate() {
+                    let mut job_total = S::ZERO;
+                    for &v in row {
+                        if v.is_positive() {
+                            job_total += v;
+                        }
+                    }
+                    if job_total.is_positive() {
+                        net.set_job_cap(i3, job_total);
+                    }
+                }
+                net.preload_split(preload);
+            }
+            act_jobs = new_act_jobs;
+            act_sites = new_act_sites;
+            base = new_base;
+            cur_caps = new_caps;
+        }
+
+        *scratch = net.take_scratch();
+        stats.edges_visited = scratch.edges_visited() - edges0;
+        stats.scratch_reuse_hits = scratch.reuse_hits() - reuse0;
+
+        let allocation = Allocation::from_split(std::mem::take(split));
+        debug_assert!(
+            allocation.is_feasible(inst),
+            "solver emitted an infeasible allocation"
+        );
+        debug_assert!(
+            close_rel(
+                allocation.total(),
+                sum(frozen.iter().map(|a| a.expect("all jobs frozen")))
+            ),
+            "committed split does not realize the frozen aggregates"
+        );
+
+        SolveOutput {
+            allocation,
+            rounds,
+            stats,
+        }
+    }
+
+    /// Set contracted source caps for level `t`, recompute the max flow,
+    /// and return `(flow, target)` where both exclude committed flow.
+    ///
+    /// Job `i`'s contracted cap is `max(u_j(t) - base_i, 0)`: the part of
+    /// its target not already committed at removed sites. For any `t` at or
+    /// above the previous round's level the clamp is inert (`u >= base`);
+    /// below it (bisection probes) both networks report feasible, so the
+    /// bracketing logic is unaffected.
+    #[allow(clippy::too_many_arguments)]
+    fn check_level_contracted<S: Scalar>(
+        &self,
+        net: &mut AllocationNetwork<S>,
+        caps: &[LevelCap<S>],
+        act_jobs: &[usize],
+        base: &[S],
+        t: S,
+        stats: &mut SolveStats,
+        us: &mut Vec<S>,
+    ) -> (S, S) {
+        us.clear();
+        us.extend(
+            act_jobs
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| max2(caps[j].at(t) - base[i], S::ZERO)),
+        );
+        let keep_flow = self.warm_start
+            && us
+                .iter()
+                .enumerate()
+                .all(|(i, &u)| !u.definitely_lt(net.job_flow(i)));
+        if !keep_flow {
+            net.reset_flow();
+            stats.flow_resets += 1;
+        }
+        let mut target = S::ZERO;
+        for (i, &u) in us.iter().enumerate() {
+            // With f64 a kept flow may exceed the new cap by <= eps; clamp
+            // the cap up so the invariant `flow <= cap` holds exactly.
+            let u_safe = if keep_flow {
+                max2(u, net.job_flow(i))
+            } else {
+                u
+            };
+            net.set_job_cap(i, u_safe);
+            target += u;
+        }
+        let flow = net.run_max_flow();
+        (flow, target)
+    }
+
+    /// The legacy full-network solve, kept for the contraction ablation
+    /// (identical results; every round pays max flows on all n×m nodes).
+    fn solve_full<S: Scalar>(
+        &self,
+        inst: &Instance<S>,
+        pool: &mut SolverPool<S>,
+    ) -> SolveOutput<S> {
+        let n = inst.n_jobs();
+        let mut stats = SolveStats::default();
+        if n == 0 {
+            return SolveOutput {
+                allocation: Allocation::from_split(Vec::new()),
+                rounds: Vec::new(),
+                stats,
+            };
+        }
+        let SolverPool {
+            scratch,
+            us,
+            side,
+            split,
+            members,
+            ..
+        } = pool;
+
+        let caps = self.build_caps(inst);
+        let mut frozen: Vec<Option<S>> = caps
+            .iter()
+            .map(|c| {
+                if c.ceil.is_positive() {
+                    None
+                } else {
+                    Some(S::ZERO)
+                }
+            })
+            .collect();
+
+        let arena = std::mem::take(scratch);
+        let edges0 = arena.edges_visited();
+        let reuse0 = arena.reuse_hits();
+        let mut net = AllocationNetwork::new_with_scratch(
+            inst.demands(),
+            inst.capacities(),
+            self.backend,
+            arena,
+        );
         let mut rounds: Vec<FreezeRound<S>> = Vec::new();
 
         while frozen.iter().any(Option::is_none) {
             stats.rounds += 1;
+            stats.active_job_rounds += frozen.iter().filter(|f| f.is_none()).count();
+            stats.active_site_rounds += inst.n_sites();
             // Upper bound: the level at which every active job is at its
             // ceiling (u_j flat beyond its high breakpoint).
             let mut t = S::ZERO;
@@ -242,13 +862,13 @@ impl AmfSolver {
                 let mut lo = S::ZERO;
                 let mut hi = t;
                 stats.max_flows += 1;
-                let (flow, target) = self.check_level(&mut net, &caps, &frozen, hi, &mut stats);
+                let (flow, target) = self.check_level(&mut net, &caps, &frozen, hi, &mut stats, us);
                 if !close_rel(flow, target) {
                     for _ in 0..iterations {
                         let mid = (lo + hi) / S::from_usize(2);
                         stats.max_flows += 1;
                         let (flow, target) =
-                            self.check_level(&mut net, &caps, &frozen, mid, &mut stats);
+                            self.check_level(&mut net, &caps, &frozen, mid, &mut stats, us);
                         if close_rel(flow, target) {
                             lo = mid;
                         } else {
@@ -265,24 +885,25 @@ impl AmfSolver {
             let t_star = loop {
                 stats.dinkelbach_iterations += 1;
                 stats.max_flows += 1;
-                let (flow, target) = self.check_level(&mut net, &caps, &frozen, t, &mut stats);
+                let (flow, target) = self.check_level(&mut net, &caps, &frozen, t, &mut stats, us);
                 if close_rel(flow, target) {
                     break t;
                 }
                 // Infeasible: the min cut names the violating job set J.
-                let side = net.source_side_jobs();
-                let budget = residual_budget(inst, &frozen, &side);
-                let sub_caps: Vec<LevelCap<S>> = side
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, &inside)| inside && frozen[j].is_none())
-                    .map(|(j, _)| caps[j])
-                    .collect();
+                net.source_side_jobs_into(side);
+                let budget = residual_budget(inst, &frozen, side);
+                members.clear();
+                members.extend(
+                    side.iter()
+                        .enumerate()
+                        .filter(|&(j, &inside)| inside && frozen[j].is_none())
+                        .map(|(j, _)| caps[j]),
+                );
                 debug_assert!(
-                    !sub_caps.is_empty(),
+                    !members.is_empty(),
                     "violating set without active jobs: frozen state infeasible"
                 );
-                let t_next = invert_total(&sub_caps, budget);
+                let t_next = invert_total(members, budget);
                 if !t_next.definitely_lt(t) {
                     // No numerical progress (f64 only): accept the current
                     // level; the freeze step below still terminates.
@@ -294,7 +915,7 @@ impl AmfSolver {
             // Re-establish the max flow at t_star if the loop exited on a
             // lowered level without re-checking.
             stats.max_flows += 1;
-            let (flow, target) = self.check_level(&mut net, &caps, &frozen, t_star, &mut stats);
+            let (flow, target) = self.check_level(&mut net, &caps, &frozen, t_star, &mut stats, us);
             debug_assert!(
                 close_rel(flow, target),
                 "level t*={t_star} must be feasible (flow {flow}, target {target})"
@@ -302,7 +923,6 @@ impl AmfSolver {
 
             // Freeze demand-capped jobs and bottlenecked jobs.
             let can_grow = net.jobs_with_residual_to_sink();
-            let mut froze_any = false;
             let mut round = FreezeRound {
                 level: t_star,
                 frozen: Vec::new(),
@@ -315,34 +935,25 @@ impl AmfSolver {
                 if !u.definitely_lt(caps[j].ceil) {
                     frozen[j] = Some(caps[j].ceil);
                     round.frozen.push((j, FreezeReason::DemandCapped));
-                    froze_any = true;
                 } else if !can_grow[j] {
                     frozen[j] = Some(u);
                     round.frozen.push((j, FreezeReason::Bottlenecked));
-                    froze_any = true;
                 }
             }
-            if froze_any {
-                rounds.push(round);
-            }
-            if !froze_any {
+            if round.frozen.is_empty() {
                 // Safety net for f64 rounding: freeze everything at the
                 // current level rather than loop forever. Unreachable with
                 // exact arithmetic (a maximal feasible level always has a
                 // tight set).
                 debug_assert!(!S::EXACT, "exact solve failed to freeze a job");
-                let mut round = FreezeRound {
-                    level: t_star,
-                    frozen: Vec::new(),
-                };
                 for j in 0..n {
                     if frozen[j].is_none() {
                         frozen[j] = Some(caps[j].at(t_star));
                         round.frozen.push((j, FreezeReason::Bottlenecked));
                     }
                 }
-                rounds.push(round);
             }
+            rounds.push(round);
         }
 
         // Final split: fix every source cap to the frozen aggregate.
@@ -357,7 +968,11 @@ impl AmfSolver {
             close_rel(total, expected),
             "final split does not realize the frozen aggregates"
         );
-        let allocation = Allocation::from_split(net.split_matrix());
+        net.split_into(split);
+        *scratch = net.take_scratch();
+        stats.edges_visited = scratch.edges_visited() - edges0;
+        stats.scratch_reuse_hits = scratch.reuse_hits() - reuse0;
+        let allocation = Allocation::from_split(std::mem::take(split));
         // Self-audit in debug builds: the flow network guarantees these by
         // construction, so a failure here means the network itself is bad.
         // (The full certificate auditor lives in `amf-audit`, which sits
@@ -389,15 +1004,13 @@ impl AmfSolver {
         frozen: &[Option<S>],
         t: S,
         stats: &mut SolveStats,
+        us: &mut Vec<S>,
     ) -> (S, S) {
-        let us: Vec<S> = caps
-            .iter()
-            .enumerate()
-            .map(|(j, c)| match frozen[j] {
-                Some(a) => a,
-                None => c.at(t),
-            })
-            .collect();
+        us.clear();
+        us.extend(caps.iter().enumerate().map(|(j, c)| match frozen[j] {
+            Some(a) => a,
+            None => c.at(t),
+        }));
         let keep_flow = self.warm_start
             && us
                 .iter()
@@ -412,7 +1025,7 @@ impl AmfSolver {
             // With f64 a kept flow may exceed the new cap by <= eps; clamp
             // the cap up so the invariant `flow <= cap` holds exactly.
             let u_safe = if keep_flow {
-                amf_numeric::max2(u, net.job_flow(j))
+                max2(u, net.job_flow(j))
             } else {
                 u
             };
@@ -425,7 +1038,8 @@ impl AmfSolver {
 }
 
 /// `f(J) - Σ_{frozen j ∈ J} A_j`: the resource left for the active members
-/// of the violating set `J`.
+/// of the violating set `J` (legacy full-network form; the contracted path
+/// uses [`contracted_rank`] over the shrunk subgraph instead).
 fn residual_budget<S: Scalar>(inst: &Instance<S>, frozen: &[Option<S>], side: &[bool]) -> S {
     let mut budget = inst.rank(side);
     for (j, &inside) in side.iter().enumerate() {
@@ -438,6 +1052,44 @@ fn residual_budget<S: Scalar>(inst: &Instance<S>, frozen: &[Option<S>], side: &[
     budget
 }
 
+/// Polymatroid rank of the job set `side` (indices into `act_jobs`) in the
+/// contracted network: `Σ_k min(cur_caps[k], Σ_{i∈side} d[act_jobs[i]][act_sites[k]])`.
+/// O(active jobs × active sites) — this shrinking cost replaces the legacy
+/// path's O(n·m) [`residual_budget`] recomputation per Dinkelbach step.
+fn contracted_rank<S: Scalar>(
+    inst: &Instance<S>,
+    act_jobs: &[usize],
+    act_sites: &[usize],
+    cur_caps: &[S],
+    side: &[bool],
+) -> S {
+    let mut total = S::ZERO;
+    for (k, &s) in act_sites.iter().enumerate() {
+        let mut demand = S::ZERO;
+        for (i, &j) in act_jobs.iter().enumerate() {
+            if side[i] {
+                demand += inst.demand(j, s);
+            }
+        }
+        total += min2(cur_caps[k], demand);
+    }
+    total
+}
+
+/// Debug check: every incrementally maintained residual site budget equals
+/// the original capacity minus the flow committed there so far.
+fn residual_budget_agrees<S: Scalar>(
+    inst: &Instance<S>,
+    act_sites: &[usize],
+    cur_caps: &[S],
+    split: &[Vec<S>],
+) -> bool {
+    act_sites.iter().enumerate().all(|(k, &s)| {
+        let committed = sum(split.iter().map(|row| row[s]));
+        close_rel(cur_caps[k] + committed, inst.capacity(s))
+    })
+}
+
 /// Relative-tolerance equality used for flow-vs-target comparisons, where
 /// both sides are sums over up to `n` jobs. Exact types compare exactly.
 fn close_rel<S: Scalar>(a: S, b: S) -> bool {
@@ -447,274 +1099,4 @@ fn close_rel<S: Scalar>(a: S, b: S) -> bool {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use amf_numeric::Rational;
-
-    fn r(n: i128, d: i128) -> Rational {
-        Rational::new(n, d)
-    }
-
-    fn ri(n: i128) -> Rational {
-        Rational::from_int(n)
-    }
-
-    #[test]
-    fn empty_instance() {
-        let inst = Instance::<f64>::new(vec![5.0], vec![]).unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        assert_eq!(out.allocation.n_jobs(), 0);
-    }
-
-    #[test]
-    fn single_site_matches_water_filling() {
-        // AMF on one site must equal conventional max-min fairness.
-        let inst = Instance::new(vec![7.0], vec![vec![1.0], vec![10.0], vec![10.0]]).unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        let a = out.allocation.aggregates();
-        assert!((a[0] - 1.0).abs() < 1e-9);
-        assert!((a[1] - 3.0).abs() < 1e-9);
-        assert!((a[2] - 3.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn aggregate_fairness_across_sites() {
-        // The motivating example: job 0 is locked to site 0, job 1 can use
-        // both. Per-site fairness would give job 1 an aggregate of 3+2=5
-        // and job 0 only 3; AMF equalizes at 4/4.
-        let inst = Instance::new(vec![6.0, 2.0], vec![vec![6.0, 0.0], vec![6.0, 2.0]]).unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        assert!((out.allocation.aggregate(0) - 4.0).abs() < 1e-9);
-        assert!((out.allocation.aggregate(1) - 4.0).abs() < 1e-9);
-        assert!(out.allocation.is_feasible(&inst));
-    }
-
-    #[test]
-    fn exact_rational_three_jobs_share_one_site() {
-        let inst = Instance::new(vec![ri(7)], vec![vec![ri(7)], vec![ri(7)], vec![ri(7)]]).unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        for j in 0..3 {
-            assert_eq!(out.allocation.aggregate(j), r(7, 3));
-        }
-    }
-
-    #[test]
-    fn demand_capped_job_frees_capacity() {
-        // Job 0 demands only 1; jobs 1,2 split the rest.
-        let inst =
-            Instance::new(vec![ri(10)], vec![vec![ri(1)], vec![ri(10)], vec![ri(10)]]).unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        assert_eq!(out.allocation.aggregate(0), ri(1));
-        assert_eq!(out.allocation.aggregate(1), r(9, 2));
-        assert_eq!(out.allocation.aggregate(2), r(9, 2));
-    }
-
-    #[test]
-    fn multi_level_freezing() {
-        // Three bottleneck levels: job 0 stuck at a tiny site, job 1 at a
-        // medium one, job 2 rich.
-        let inst = Instance::new(
-            vec![ri(1), ri(4), ri(100)],
-            vec![
-                vec![ri(50), ri(0), ri(0)],
-                vec![ri(0), ri(50), ri(0)],
-                vec![ri(0), ri(0), ri(50)],
-            ],
-        )
-        .unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        assert_eq!(out.allocation.aggregate(0), ri(1));
-        assert_eq!(out.allocation.aggregate(1), ri(4));
-        assert_eq!(out.allocation.aggregate(2), ri(50));
-        assert!(out.stats.rounds >= 2);
-    }
-
-    #[test]
-    fn shared_bottleneck_splits_equally() {
-        // Jobs 0 and 1 share a site of capacity 2; job 1 also reaches a
-        // second site. AMF: raise both; job 0 freezes when site 0 is
-        // exhausted *after* job 1 has shifted its usage away.
-        let inst = Instance::new(
-            vec![ri(2), ri(3)],
-            vec![vec![ri(2), ri(0)], vec![ri(2), ri(3)]],
-        )
-        .unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        // Feasible aggregates: f({0}) = 2, f({0,1}) = 2 + 3 = 5.
-        // Max-min: A_0 = 2, A_1 = 3 (job 1's own demand cap is 5, but the
-        // shared site limits the pair to 5 total; max-min gives 2/3? No:
-        // f({1}) = min(2,2)+min(3,3) = 5, so job 1 alone could take 5.
-        // Water level: t=2 needs 4 total <= f = 5 ok and f({0}) = 2 -> job0
-        // freezes at 2; then job 1 grows to 5 - 2 = 3.
-        assert_eq!(out.allocation.aggregate(0), ri(2));
-        assert_eq!(out.allocation.aggregate(1), ri(3));
-    }
-
-    #[test]
-    fn weighted_amf_respects_weights() {
-        let inst = Instance::weighted(
-            vec![ri(4)],
-            vec![vec![ri(10)], vec![ri(10)]],
-            vec![ri(1), ri(3)],
-        )
-        .unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        assert_eq!(out.allocation.aggregate(0), ri(1));
-        assert_eq!(out.allocation.aggregate(1), ri(3));
-    }
-
-    #[test]
-    fn enhanced_mode_guarantees_equal_share() {
-        // An instance where plain AMF violates sharing incentive:
-        // job 0 is confined to site 0, which everyone can flood; its equal
-        // share uses a *reserved* 1/n slice of site 0, but plain AMF lets
-        // jobs 1,2 (who have huge demand elsewhere... here we engineer via
-        // weights of locality) — see properties tests for the generic
-        // search; here just verify floors hold in Enhanced mode.
-        let inst = Instance::new(
-            vec![ri(6), ri(6)],
-            vec![vec![ri(6), ri(0)], vec![ri(6), ri(6)], vec![ri(6), ri(6)]],
-        )
-        .unwrap();
-        let out = AmfSolver::enhanced().solve(&inst);
-        for j in 0..3 {
-            assert!(
-                out.allocation.aggregate(j) >= inst.equal_share(j),
-                "job {j} below its equal share"
-            );
-        }
-        assert!(out.allocation.is_feasible(&inst));
-    }
-
-    #[test]
-    fn f64_and_rational_agree() {
-        let inst_q = Instance::new(
-            vec![ri(5), ri(9), ri(2)],
-            vec![
-                vec![ri(3), ri(1), ri(2)],
-                vec![ri(4), ri(9), ri(0)],
-                vec![ri(0), ri(5), ri(2)],
-                vec![ri(2), ri(2), ri(2)],
-            ],
-        )
-        .unwrap();
-        let inst_f = inst_q.map(|v| v.to_f64());
-        let out_q = AmfSolver::new().solve(&inst_q);
-        let out_f = AmfSolver::new().solve(&inst_f);
-        for j in 0..4 {
-            let exact = out_q.allocation.aggregate(j).to_f64();
-            let approx = out_f.allocation.aggregate(j);
-            assert!(
-                (exact - approx).abs() < 1e-6,
-                "job {j}: exact {exact} vs f64 {approx}"
-            );
-        }
-    }
-
-    #[test]
-    fn total_is_maximal() {
-        // AMF is Pareto efficient, so the total allocation equals the rank
-        // of the full job set.
-        let inst = Instance::new(
-            vec![ri(5), ri(3)],
-            vec![vec![ri(2), ri(3)], vec![ri(4), ri(0)], vec![ri(1), ri(1)]],
-        )
-        .unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        let all = vec![true; 3];
-        assert_eq!(out.allocation.total(), inst.rank(&all));
-    }
-
-    #[test]
-    fn bisection_and_dinkelbach_agree_exactly() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(57);
-        for _ in 0..30 {
-            let n = rng.gen_range(1..7usize);
-            let m = rng.gen_range(1..5usize);
-            let inst = Instance::new(
-                (0..m).map(|_| ri(rng.gen_range(0..12))).collect(),
-                (0..n)
-                    .map(|_| (0..m).map(|_| ri(rng.gen_range(0..10))).collect())
-                    .collect(),
-            )
-            .unwrap();
-            let dink = AmfSolver::new().solve(&inst);
-            let bisect = AmfSolver::new().with_bisection(12).solve(&inst);
-            assert_eq!(
-                dink.allocation.aggregates(),
-                bisect.allocation.aggregates(),
-                "strategies disagree"
-            );
-            // Bisection spends at least as many feasibility checks.
-            assert!(bisect.stats.max_flows >= dink.stats.max_flows);
-        }
-    }
-
-    #[test]
-    fn warm_and_cold_starts_agree_exactly() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(31);
-        for _ in 0..30 {
-            let n = rng.gen_range(1..7usize);
-            let m = rng.gen_range(1..5usize);
-            let inst = Instance::new(
-                (0..m).map(|_| ri(rng.gen_range(0..12))).collect(),
-                (0..n)
-                    .map(|_| (0..m).map(|_| ri(rng.gen_range(0..10))).collect())
-                    .collect(),
-            )
-            .unwrap();
-            let warm = AmfSolver::new().solve(&inst);
-            let cold = AmfSolver::new().without_warm_start().solve(&inst);
-            assert_eq!(
-                warm.allocation.aggregates(),
-                cold.allocation.aggregates(),
-                "warm/cold disagree"
-            );
-            assert!(warm.stats.flow_resets <= cold.stats.flow_resets);
-        }
-    }
-
-    #[test]
-    fn freeze_rounds_explain_the_allocation() {
-        use super::FreezeReason;
-        // Job 0 stuck at a tiny site (bottlenecked early), job 1 demand-
-        // capped on a huge one.
-        let inst = Instance::new(
-            vec![ri(1), ri(100)],
-            vec![vec![ri(50), ri(0)], vec![ri(0), ri(8)]],
-        )
-        .unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        assert_eq!(out.rounds.len(), 2);
-        // Round 1: level 1 — job 0 bottlenecked at the 1-slot site.
-        assert_eq!(out.rounds[0].level, ri(1));
-        assert_eq!(out.rounds[0].frozen, vec![(0, FreezeReason::Bottlenecked)]);
-        // Round 2: level 8 — job 1 hits its total demand.
-        assert_eq!(out.rounds[1].level, ri(8));
-        assert_eq!(out.rounds[1].frozen, vec![(1, FreezeReason::DemandCapped)]);
-        // Levels are nondecreasing and every job appears exactly once.
-        let mut seen = std::collections::HashSet::new();
-        for w in out.rounds.windows(2) {
-            assert!(w[0].level <= w[1].level);
-        }
-        for round in &out.rounds {
-            for (j, _) in &round.frozen {
-                assert!(seen.insert(*j), "job {j} frozen twice");
-            }
-        }
-        assert_eq!(seen.len(), 2);
-    }
-
-    #[test]
-    fn stats_are_populated() {
-        let inst = Instance::new(vec![4.0], vec![vec![4.0], vec![4.0]]).unwrap();
-        let out = AmfSolver::new().solve(&inst);
-        assert!(out.stats.rounds >= 1);
-        assert!(out.stats.max_flows >= out.stats.rounds);
-        assert!(out.stats.dinkelbach_iterations >= 1);
-    }
-}
+mod tests;

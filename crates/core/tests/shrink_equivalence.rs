@@ -1,0 +1,150 @@
+//! Property test for the shrinking-network solver core: the contracted
+//! path, the push–relabel backend, and the batch API must all agree with
+//! the legacy full-network Dinic solver — bit-exactly on [`Rational`],
+//! within tolerance on `f64` — and every one of the four outputs must earn
+//! the independent `amf-audit` certificate on random skewed instances.
+
+use amf_audit::audit;
+use amf_core::{AmfSolver, FairnessMode, FlowBackend, Instance, SolveOutput};
+use amf_numeric::Rational;
+use proptest::prelude::*;
+
+/// Random skewed shapes: a few jobs are "elephants" whose demands are an
+/// order of magnitude above the rest, and some job/site cells are zeroed
+/// (data locality), which is what makes contraction and backend choice
+/// interesting.
+fn skewed_shape() -> impl Strategy<Value = (Vec<i64>, Vec<Vec<i64>>, bool)> {
+    (1usize..=6, 1usize..=4, 0u8..2).prop_flat_map(|(n, m, enhanced)| {
+        (
+            proptest::collection::vec(1i64..24, m),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(0i64..8, m),
+                    // Elephant multiplier: ~1 in 5 jobs demands 8× the rest.
+                    0u8..5,
+                ),
+                n,
+            )
+            .prop_map(|rows| {
+                rows.into_iter()
+                    .map(|(row, pick)| {
+                        let scale = if pick == 0 { 8 } else { 1 };
+                        row.into_iter().map(|d| d * scale).collect()
+                    })
+                    .collect()
+            }),
+            Just(enhanced == 1),
+        )
+    })
+}
+
+fn solver(enhanced: bool) -> AmfSolver {
+    if enhanced {
+        AmfSolver::enhanced()
+    } else {
+        AmfSolver::new()
+    }
+}
+
+fn mode(enhanced: bool) -> FairnessMode {
+    if enhanced {
+        FairnessMode::Enhanced
+    } else {
+        FairnessMode::Plain
+    }
+}
+
+/// The four solver configurations under test, in a fixed order:
+/// legacy full-network, contracted (default), contracted + push–relabel,
+/// and the batch API (which runs the contracted solver through a pool).
+fn four_ways<S: amf_numeric::Scalar>(
+    inst: &Instance<S>,
+    enhanced: bool,
+) -> Vec<(&'static str, SolveOutput<S>)> {
+    let s = solver(enhanced);
+    let batch = s
+        .solve_batch_with(std::slice::from_ref(inst), 2)
+        .pop()
+        .expect("one instance in, one out");
+    vec![
+        ("full", s.without_contraction().solve(inst)),
+        ("contracted", s.solve(inst)),
+        (
+            "push-relabel",
+            s.with_flow_backend(FlowBackend::PushRelabel).solve(inst),
+        ),
+        ("batch", batch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit-exact agreement of all four paths on exact rationals, and a
+    /// full audit certificate for each.
+    #[test]
+    fn four_way_agreement_is_exact_on_rationals(
+        (caps, demands, enhanced) in skewed_shape()
+    ) {
+        let inst = Instance::new(
+            caps.iter().map(|&c| Rational::from_int(c as i128)).collect(),
+            demands
+                .iter()
+                .map(|row| row.iter().map(|&d| Rational::from_int(d as i128)).collect())
+                .collect(),
+        )
+        .expect("positive capacities");
+        let outs = four_ways(&inst, enhanced);
+        let (ref_name, ref_out) = &outs[0];
+        for (name, out) in &outs[1..] {
+            prop_assert_eq!(
+                out.allocation.aggregates(),
+                ref_out.allocation.aggregates(),
+                "{} disagrees with {}", name, ref_name
+            );
+            prop_assert_eq!(&out.rounds, &ref_out.rounds, "{} rounds differ", name);
+        }
+        for (name, out) in &outs {
+            let report = audit(&inst, &out.allocation, mode(enhanced));
+            prop_assert!(
+                report.is_certified_amf(),
+                "{} output failed audit: {}", name, report.summary()
+            );
+        }
+    }
+
+    /// Tolerance agreement of all four paths on f64, each audit-certified.
+    #[test]
+    fn four_way_agreement_within_tolerance_on_f64(
+        (caps, demands, enhanced) in skewed_shape()
+    ) {
+        let inst = Instance::new(
+            caps.iter().map(|&c| c as f64).collect(),
+            demands
+                .iter()
+                .map(|row| row.iter().map(|&d| d as f64).collect())
+                .collect(),
+        )
+        .expect("positive capacities");
+        let outs = four_ways(&inst, enhanced);
+        let (ref_name, ref_out) = &outs[0];
+        for (name, out) in &outs[1..] {
+            for j in 0..inst.n_jobs() {
+                let a = out.allocation.aggregate(j);
+                let b = ref_out.allocation.aggregate(j);
+                prop_assert!(
+                    (a - b).abs() < 1e-6,
+                    "{} vs {} job {}: {} vs {}", name, ref_name, j, a, b
+                );
+            }
+        }
+        for (name, out) in &outs {
+            prop_assert!(out.allocation.is_feasible(&inst), "{} infeasible", name);
+            let report = audit(&inst, &out.allocation, mode(enhanced));
+            prop_assert!(
+                report.is_certified_amf(),
+                "{} output failed audit: {}", name, report.summary()
+            );
+        }
+    }
+}

@@ -1,8 +1,30 @@
 //! The jobs-by-sites allocation network driven by the AMF solver.
 
-use crate::dinic;
 use crate::graph::{EdgeId, FlowNetwork, NodeId};
+use crate::scratch::FlowScratch;
+use crate::{dinic, push_relabel};
 use amf_numeric::Scalar;
+
+/// Which max-flow kernel an [`AllocationNetwork`] runs.
+///
+/// Dinic augments from the current flow (supports warm starts) and wins on
+/// sparse demand graphs; FIFO push–relabel recomputes from scratch but
+/// tends to win on dense bipartite graphs. `Auto` picks per call: Dinic
+/// whenever a warm flow is present, otherwise by demand-edge density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowBackend {
+    /// Dinic's algorithm (default): warm-startable, strongly polynomial.
+    #[default]
+    Dinic,
+    /// FIFO push–relabel with the gap heuristic. Always recomputes from
+    /// scratch — pre-existing flow is cleared on every run.
+    PushRelabel,
+    /// Choose per call: Dinic when flow is already present (so warm starts
+    /// keep working), otherwise push–relabel on dense networks
+    /// (≥ half the job×site cells carry demand and the network is not
+    /// trivially small) and Dinic on sparse ones.
+    Auto,
+}
 
 /// Bipartite allocation network
 /// `source --(u_j)--> job_j --(d[j][s])--> site_s --(c_s)--> sink`.
@@ -13,6 +35,12 @@ use amf_numeric::Scalar;
 /// side of a min cut? which jobs still have a residual path to the sink?
 /// This wrapper owns that vocabulary so the solver reads like the paper's
 /// pseudo-code rather than like graph plumbing.
+///
+/// The network owns a [`FlowScratch`] arena, so repeated max flows and
+/// reachability sweeps are allocation-free; when the solver contracts to a
+/// smaller network it moves the arena over with
+/// [`take_scratch`](Self::take_scratch) /
+/// [`new_with_scratch`](Self::new_with_scratch).
 #[derive(Debug, Clone)]
 pub struct AllocationNetwork<S> {
     net: FlowNetwork<S>,
@@ -24,6 +52,9 @@ pub struct AllocationNetwork<S> {
     site_cap_edges: Vec<EdgeId>,
     /// Per job: `(site, edge)` for every strictly positive demand.
     demand_edges: Vec<Vec<(usize, EdgeId)>>,
+    n_demand_edges: usize,
+    backend: FlowBackend,
+    scratch: FlowScratch<S>,
 }
 
 impl<S: Scalar> AllocationNetwork<S> {
@@ -35,6 +66,23 @@ impl<S: Scalar> AllocationNetwork<S> {
     /// # Panics
     /// Panics on negative demands/capacities or ragged demand rows.
     pub fn new(demands: &[Vec<S>], capacities: &[S]) -> Self {
+        Self::new_with_scratch(
+            demands,
+            capacities,
+            FlowBackend::default(),
+            FlowScratch::new(),
+        )
+    }
+
+    /// [`new`](Self::new) with an explicit [`FlowBackend`] and a reused
+    /// [`FlowScratch`] arena (typically recovered from a retired network
+    /// via [`take_scratch`](Self::take_scratch)).
+    pub fn new_with_scratch(
+        demands: &[Vec<S>],
+        capacities: &[S],
+        backend: FlowBackend,
+        scratch: FlowScratch<S>,
+    ) -> Self {
         let n_jobs = demands.len();
         let n_sites = capacities.len();
         for row in demands {
@@ -50,6 +98,7 @@ impl<S: Scalar> AllocationNetwork<S> {
             .map(|j| net.add_edge(source, job_node(j), S::ZERO))
             .collect();
         let mut demand_edges = Vec::with_capacity(n_jobs);
+        let mut n_demand_edges = 0;
         for (j, row) in demands.iter().enumerate() {
             let mut edges = Vec::new();
             for (s, &d) in row.iter().enumerate() {
@@ -58,6 +107,7 @@ impl<S: Scalar> AllocationNetwork<S> {
                     edges.push((s, net.add_edge(job_node(j), site_node(s), d)));
                 }
             }
+            n_demand_edges += edges.len();
             demand_edges.push(edges);
         }
         let site_cap_edges = capacities
@@ -78,7 +128,32 @@ impl<S: Scalar> AllocationNetwork<S> {
             job_cap_edges,
             site_cap_edges,
             demand_edges,
+            n_demand_edges,
+            backend,
+            scratch,
         }
+    }
+
+    /// Replace the flow backend, returning `self` (builder style).
+    pub fn with_backend(mut self, backend: FlowBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured backend (before `Auto` resolution).
+    pub fn backend(&self) -> FlowBackend {
+        self.backend
+    }
+
+    /// Move the scratch arena out (leaving an empty one behind), so a
+    /// successor network can inherit its buffers and counters.
+    pub fn take_scratch(&mut self) -> FlowScratch<S> {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// The scratch arena, for reading its diagnostic counters.
+    pub fn scratch(&self) -> &FlowScratch<S> {
+        &self.scratch
     }
 
     /// Number of jobs.
@@ -89,6 +164,11 @@ impl<S: Scalar> AllocationNetwork<S> {
     /// Number of sites.
     pub fn n_sites(&self) -> usize {
         self.n_sites
+    }
+
+    /// Number of strictly positive demand edges.
+    pub fn demand_edge_count(&self) -> usize {
+        self.n_demand_edges
     }
 
     /// Set job `j`'s source cap (its water-level target `u_j`).
@@ -109,11 +189,43 @@ impl<S: Scalar> AllocationNetwork<S> {
         self.net.reset_flow();
     }
 
-    /// Augment to a maximum flow (Dinic), returning the **total** flow now
-    /// leaving the source.
+    /// Compute a maximum flow with the configured [`FlowBackend`],
+    /// returning the **total** flow now leaving the source. Dinic augments
+    /// on top of any existing flow; push–relabel recomputes from scratch.
     pub fn run_max_flow(&mut self) -> S {
-        dinic::max_flow(&mut self.net, self.source, self.sink);
+        let backend = match self.backend {
+            FlowBackend::Auto => self.resolve_auto(),
+            b => b,
+        };
+        match backend {
+            FlowBackend::Dinic | FlowBackend::Auto => {
+                dinic::max_flow_with(&mut self.net, self.source, self.sink, &mut self.scratch);
+            }
+            FlowBackend::PushRelabel => {
+                push_relabel::max_flow_with(
+                    &mut self.net,
+                    self.source,
+                    self.sink,
+                    &mut self.scratch,
+                );
+            }
+        }
         self.total_flow()
+    }
+
+    /// The kernel `Auto` would pick right now (also used by diagnostics).
+    pub fn resolve_auto(&self) -> FlowBackend {
+        // A present flow means the caller is warm-starting: only Dinic
+        // augments incrementally, so switching kernels would discard it.
+        if self.total_flow().is_positive() {
+            return FlowBackend::Dinic;
+        }
+        let cells = self.n_jobs * self.n_sites;
+        if cells >= 256 && 2 * self.n_demand_edges >= cells {
+            FlowBackend::PushRelabel
+        } else {
+            FlowBackend::Dinic
+        }
     }
 
     /// Total flow currently leaving the source.
@@ -136,13 +248,24 @@ impl<S: Scalar> AllocationNetwork<S> {
 
     /// The full split as a dense `n_jobs x n_sites` matrix.
     pub fn split_matrix(&self) -> Vec<Vec<S>> {
-        let mut x = vec![vec![S::ZERO; self.n_sites]; self.n_jobs];
-        for j in 0..self.n_jobs {
-            for (s, v) in self.job_split(j) {
-                x[j][s] = v;
+        let mut x = Vec::new();
+        self.split_into(&mut x);
+        x
+    }
+
+    /// Write the full split into a caller-provided matrix, reusing its row
+    /// allocations — the allocation-free form of
+    /// [`split_matrix`](Self::split_matrix) used by the solver's final
+    /// split step.
+    pub fn split_into(&self, out: &mut Vec<Vec<S>>) {
+        out.resize(self.n_jobs, Vec::new());
+        for (j, row) in out.iter_mut().enumerate() {
+            row.clear();
+            row.resize(self.n_sites, S::ZERO);
+            for &(s, e) in &self.demand_edges[j] {
+                row[s] = self.net.flow(e);
             }
         }
-        x
     }
 
     /// Preload a known-feasible split (flows along source→job→site→sink for
@@ -181,33 +304,50 @@ impl<S: Scalar> AllocationNetwork<S> {
 
     /// After a max flow: the jobs on the **source side** of the minimum cut
     /// (i.e. the violating set when the current level is infeasible).
-    pub fn source_side_jobs(&self) -> Vec<bool> {
-        let seen = self.net.residual_reachable(self.source);
-        (0..self.n_jobs).map(|j| seen[2 + j]).collect()
+    pub fn source_side_jobs(&mut self) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.source_side_jobs_into(&mut out);
+        out
+    }
+
+    /// [`source_side_jobs`](Self::source_side_jobs) into a caller-provided
+    /// buffer (resized to `n_jobs`); allocation-free on the hot path.
+    pub fn source_side_jobs_into(&mut self, out: &mut Vec<bool>) {
+        self.net.residual_reachable_into(
+            self.source,
+            &mut self.scratch.seen,
+            &mut self.scratch.stack,
+        );
+        out.clear();
+        out.extend((0..self.n_jobs).map(|j| self.scratch.seen[2 + j]));
     }
 
     /// After a max flow: for each job, whether its node still has a residual
     /// path to the sink — i.e. whether the job's allocation could grow if
     /// its source cap were raised. Jobs without such a path are bottlenecked
     /// and freeze at the current level.
-    pub fn jobs_with_residual_to_sink(&self) -> Vec<bool> {
-        // Reverse BFS from the sink: `u` reaches the sink iff some residual
-        // arc u→v exists with v already known to reach the sink. Arcs into
-        // `v` are the companions (`e ^ 1`) of arcs leaving `v`.
-        let n = self.net.node_count();
-        let mut reaches = vec![false; n];
-        reaches[self.sink] = true;
-        let mut stack = vec![self.sink];
-        while let Some(v) = stack.pop() {
-            for &e in self.net.edges_from(v) {
-                let u = self.net.head(e);
-                if !reaches[u] && self.net.residual(e ^ 1).is_positive() {
-                    reaches[u] = true;
-                    stack.push(u);
-                }
-            }
-        }
-        (0..self.n_jobs).map(|j| reaches[2 + j]).collect()
+    pub fn jobs_with_residual_to_sink(&mut self) -> Vec<bool> {
+        let mut jobs = Vec::new();
+        let mut sites = Vec::new();
+        self.sink_reachability_into(&mut jobs, &mut sites);
+        jobs
+    }
+
+    /// After a max flow: which job nodes and which site nodes still have a
+    /// residual path to the sink, into caller-provided buffers (each
+    /// resized). Jobs outside the set are bottlenecked; sites outside the
+    /// set can never absorb more flow at any higher water level, which is
+    /// what licenses contracting them out of the network.
+    pub fn sink_reachability_into(&mut self, jobs: &mut Vec<bool>, sites: &mut Vec<bool>) {
+        self.net.residual_coreachable_into(
+            self.sink,
+            &mut self.scratch.seen,
+            &mut self.scratch.stack,
+        );
+        jobs.clear();
+        jobs.extend((0..self.n_jobs).map(|j| self.scratch.seen[2 + j]));
+        sites.clear();
+        sites.extend((0..self.n_sites).map(|s| self.scratch.seen[2 + self.n_jobs + s]));
     }
 
     /// Residual capacity of site `s`'s edge to the sink.
@@ -290,6 +430,22 @@ mod tests {
     }
 
     #[test]
+    fn sink_reachability_classifies_sites() {
+        // Site 0 saturated (cap 1 fully used), site 1 has slack.
+        let demands = vec![vec![10.0, 0.0], vec![0.0, 20.0]];
+        let mut net = AllocationNetwork::new(&demands, &[1.0, 100.0]);
+        net.set_job_cap(0, 10.0);
+        net.set_job_cap(1, 10.0);
+        net.run_max_flow();
+        let mut jobs = Vec::new();
+        let mut sites = Vec::new();
+        net.sink_reachability_into(&mut jobs, &mut sites);
+        assert_eq!(jobs, vec![false, true]);
+        assert!(!sites[0], "saturated site cannot absorb more flow");
+        assert!(sites[1], "slack site still reaches the sink");
+    }
+
+    #[test]
     fn preload_then_augment_reaches_max() {
         let demands = vec![vec![2.0, 2.0], vec![2.0, 2.0]];
         let caps = [3.0, 3.0];
@@ -344,5 +500,75 @@ mod tests {
         net.set_job_cap(0, 2.0);
         net.run_max_flow();
         assert!((net.site_residual(0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backends_agree_on_allocation_networks() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..9usize);
+            let m = rng.gen_range(1..6usize);
+            let demands: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0..8) as f64).collect())
+                .collect();
+            let caps: Vec<f64> = (0..m).map(|_| rng.gen_range(0..20) as f64).collect();
+            let caps_per_job: Vec<f64> =
+                (0..n).map(|_| rng.gen_range(0..10) as f64 + 0.5).collect();
+            let mut values = Vec::new();
+            for backend in [
+                FlowBackend::Dinic,
+                FlowBackend::PushRelabel,
+                FlowBackend::Auto,
+            ] {
+                let mut net = AllocationNetwork::new(&demands, &caps).with_backend(backend);
+                for (j, &c) in caps_per_job.iter().enumerate() {
+                    net.set_job_cap(j, c);
+                }
+                values.push(net.run_max_flow());
+            }
+            for w in values.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-9, "backends disagree: {values:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_prefers_dinic_when_warm() {
+        // Dense enough that a cold Auto picks push–relabel...
+        let n = 20;
+        let m = 20;
+        let demands: Vec<Vec<f64>> = vec![vec![1.0; m]; n];
+        let caps = vec![5.0; m];
+        let net = AllocationNetwork::new(&demands, &caps).with_backend(FlowBackend::Auto);
+        assert_eq!(net.resolve_auto(), FlowBackend::PushRelabel);
+        // ...but a warm flow forces Dinic so the preload is not discarded.
+        let mut net = net;
+        net.set_job_cap(0, 1.0);
+        let mut x = vec![vec![0.0; m]; n];
+        x[0][0] = 0.5;
+        net.preload_split(&x);
+        assert_eq!(net.resolve_auto(), FlowBackend::Dinic);
+    }
+
+    #[test]
+    fn scratch_moves_between_networks() {
+        let demands = vec![vec![4.0, 4.0], vec![4.0, 4.0]];
+        let caps = [4.0, 4.0];
+        let mut net = AllocationNetwork::new(&demands, &caps);
+        net.set_job_cap(0, 4.0);
+        net.set_job_cap(1, 4.0);
+        net.run_max_flow();
+        let visited = net.scratch().edges_visited();
+        assert!(visited > 0);
+        let scratch = net.take_scratch();
+        // Successor network inherits buffers and counters.
+        let mut small =
+            AllocationNetwork::new_with_scratch(&[vec![4.0]], &[4.0], FlowBackend::Dinic, scratch);
+        small.set_job_cap(0, 4.0);
+        small.run_max_flow();
+        assert!(small.scratch().edges_visited() > visited);
+        assert!(small.scratch().reuse_hits() >= 1);
     }
 }

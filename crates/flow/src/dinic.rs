@@ -5,34 +5,59 @@
 //! capacities as well as for `f64` (where "saturated" means residual within
 //! [`Scalar::eps`]). It also augments *from the current flow*, which the
 //! JCT add-on uses to complete a preloaded feasible split into one meeting
-//! every aggregate allocation exactly.
+//! every aggregate allocation exactly, and which the AMF solver's warm
+//! starts rely on.
+//!
+//! The kernel proper is [`max_flow_with`], which borrows its BFS/DFS
+//! working state from a [`FlowScratch`] so repeated calls allocate
+//! nothing; [`max_flow`] is the convenience form with a private arena.
 
 use crate::graph::{FlowNetwork, NodeId};
+use crate::scratch::FlowScratch;
 use amf_numeric::{min2, Scalar};
-use std::collections::VecDeque;
 
 /// Run Dinic's algorithm from `source` to `sink`, augmenting on top of any
 /// flow already present. Returns the **additional** flow pushed.
 ///
 /// The total flow out of the source after the call is
 /// `net.net_outflow(source)`.
+///
+/// Allocates a fresh [`FlowScratch`] per call; hot paths should hold one
+/// and call [`max_flow_with`].
 pub fn max_flow<S: Scalar>(net: &mut FlowNetwork<S>, source: NodeId, sink: NodeId) -> S {
+    let mut scratch = FlowScratch::new();
+    max_flow_with(net, source, sink, &mut scratch)
+}
+
+/// [`max_flow`] with caller-provided working memory: zero allocations once
+/// `scratch` has grown to the network size.
+pub fn max_flow_with<S: Scalar>(
+    net: &mut FlowNetwork<S>,
+    source: NodeId,
+    sink: NodeId,
+    scratch: &mut FlowScratch<S>,
+) -> S {
     assert!(source != sink, "max_flow: source == sink");
     let n = net.node_count();
+    scratch.ensure_nodes(n);
+    let FlowScratch {
+        level,
+        iter,
+        queue,
+        edges_visited,
+        ..
+    } = scratch;
     let mut pushed = S::ZERO;
-    let mut level: Vec<u32> = vec![u32::MAX; n];
-    let mut it: Vec<usize> = vec![0; n];
 
-    while bfs_levels(net, source, sink, &mut level) {
-        it.iter_mut().for_each(|x| *x = 0);
+    while bfs_levels(net, source, sink, level, queue, edges_visited) {
+        iter.iter_mut().for_each(|x| *x = 0);
         loop {
-            let f = augment(net, source, sink, &level, &mut it, None);
+            let f = augment(net, source, sink, level, iter, None, edges_visited);
             if !f.is_positive() {
                 break;
             }
             pushed += f;
         }
-        level.iter_mut().for_each(|x| *x = u32::MAX);
     }
     pushed
 }
@@ -43,22 +68,20 @@ fn bfs_levels<S: Scalar>(
     source: NodeId,
     sink: NodeId,
     level: &mut [u32],
+    queue: &mut std::collections::VecDeque<NodeId>,
+    edges_visited: &mut u64,
 ) -> bool {
     level.iter_mut().for_each(|x| *x = u32::MAX);
     level[source] = 0;
-    let mut q = VecDeque::new();
-    q.push_back(source);
-    while let Some(v) = q.pop_front() {
+    queue.clear();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        *edges_visited += net.edges_from(v).len() as u64;
         for &e in net.edges_from(v) {
             let to = net.head(e);
             if level[to] == u32::MAX && net.residual(e).is_positive() {
                 level[to] = level[v] + 1;
-                if to == sink {
-                    // Levels of remaining nodes are irrelevant once the sink
-                    // is levelled, but finishing the BFS keeps the level
-                    // array consistent for `augment`; continue cheaply.
-                }
-                q.push_back(to);
+                queue.push_back(to);
             }
         }
     }
@@ -73,6 +96,7 @@ fn augment<S: Scalar>(
     level: &[u32],
     it: &mut [usize],
     limit: Option<S>,
+    edges_visited: &mut u64,
 ) -> S {
     if v == sink {
         // Unlimited at the sink: the caller's bottleneck applies.
@@ -86,12 +110,13 @@ fn augment<S: Scalar>(
         let e = net.edges_from(v)[it[v]];
         let to = net.head(e);
         let res = net.residual(e);
+        *edges_visited += 1;
         if res.is_positive() && level[to] == level[v] + 1 {
             let next_limit = Some(match limit {
                 None => res,
                 Some(l) => min2(l, res),
             });
-            let f = augment(net, to, sink, level, it, next_limit);
+            let f = augment(net, to, sink, level, it, next_limit, edges_visited);
             if f.is_positive() {
                 net.add_flow(e, f);
                 return f;
@@ -179,5 +204,35 @@ mod tests {
     fn same_source_sink_panics() {
         let mut g: FlowNetwork<f64> = FlowNetwork::new(1);
         max_flow(&mut g, 0, 0);
+    }
+
+    #[test]
+    fn shared_scratch_reuses_buffers_across_calls() {
+        let mut scratch: FlowScratch<f64> = FlowScratch::new();
+        for round in 0..4 {
+            let mut g: FlowNetwork<f64> = FlowNetwork::new(4);
+            g.add_edge(0, 1, 3.0);
+            g.add_edge(1, 3, 2.0);
+            g.add_edge(0, 2, 2.0);
+            g.add_edge(2, 3, 3.0);
+            let f = max_flow_with(&mut g, 0, 3, &mut scratch);
+            assert!((f - 4.0).abs() < 1e-12);
+            if round > 0 {
+                assert!(scratch.reuse_hits() >= round as u64);
+            }
+        }
+        assert!(scratch.edges_visited() > 0);
+    }
+
+    #[test]
+    fn scratch_survives_networks_of_different_sizes() {
+        let mut scratch: FlowScratch<f64> = FlowScratch::new();
+        for n in [2usize, 8, 3, 6] {
+            let mut g: FlowNetwork<f64> = FlowNetwork::new(n);
+            for v in 0..n - 1 {
+                g.add_edge(v, v + 1, 1.0);
+            }
+            assert_eq!(max_flow_with(&mut g, 0, n - 1, &mut scratch), 1.0);
+        }
     }
 }

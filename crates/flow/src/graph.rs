@@ -160,7 +160,24 @@ impl<S: Scalar> FlowNetwork<S> {
     /// After a max-flow this is the source side of a minimum cut.
     pub fn residual_reachable(&self, src: NodeId) -> Vec<bool> {
         let mut seen = vec![false; self.adj.len()];
-        let mut stack = vec![src];
+        let mut stack = Vec::new();
+        self.residual_reachable_into(src, &mut seen, &mut stack);
+        seen
+    }
+
+    /// [`residual_reachable`](Self::residual_reachable) into caller-provided
+    /// buffers (`seen` is resized and cleared; `stack` is working space) —
+    /// the allocation-free form the solver hot path uses.
+    pub fn residual_reachable_into(
+        &self,
+        src: NodeId,
+        seen: &mut Vec<bool>,
+        stack: &mut Vec<NodeId>,
+    ) {
+        seen.resize(self.adj.len(), false);
+        seen.iter_mut().for_each(|b| *b = false);
+        stack.clear();
+        stack.push(src);
         seen[src] = true;
         while let Some(v) = stack.pop() {
             for &e in &self.adj[v] {
@@ -171,7 +188,36 @@ impl<S: Scalar> FlowNetwork<S> {
                 }
             }
         }
-        seen
+    }
+
+    /// Nodes with a residual path **to** `dst` (reverse sweep over residual
+    /// companions), into caller-provided buffers. After a max flow with
+    /// `dst = sink`, a node outside this set can never receive more flow —
+    /// the structural fact behind both bottleneck freezing and network
+    /// contraction in the AMF solver.
+    pub fn residual_coreachable_into(
+        &self,
+        dst: NodeId,
+        seen: &mut Vec<bool>,
+        stack: &mut Vec<NodeId>,
+    ) {
+        seen.resize(self.adj.len(), false);
+        seen.iter_mut().for_each(|b| *b = false);
+        stack.clear();
+        stack.push(dst);
+        seen[dst] = true;
+        while let Some(v) = stack.pop() {
+            // Arcs into `v` are the companions (`e ^ 1`) of arcs leaving it:
+            // `u` reaches `dst` iff some residual arc u→v exists with `v`
+            // already known to reach `dst`.
+            for &e in &self.adj[v] {
+                let u = self.edges[e].to;
+                if !seen[u] && self.residual(e ^ 1).is_positive() {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
     }
 }
 

@@ -15,8 +15,13 @@
 //!   [`Scalar`](amf_numeric::Scalar) numeric type (exact or `f64`);
 //! * [`dinic::max_flow`] — Dinic's algorithm (strongly polynomial, supports
 //!   warm starts from an existing feasible flow);
-//! * [`push_relabel::max_flow`] — FIFO push–relabel, used to cross-check
-//!   Dinic in tests and benchmarked against it in the ablation benches;
+//! * [`push_relabel::max_flow`] — FIFO push–relabel with the gap
+//!   heuristic, cross-checked against Dinic in tests and selectable as a
+//!   production backend;
+//! * [`FlowBackend`] — which kernel an allocation network runs (`Dinic`,
+//!   `PushRelabel`, or density-based `Auto`);
+//! * [`FlowScratch`] — a reusable arena for the kernels' per-node working
+//!   state, making repeated max flows allocation-free;
 //! * [`AllocationNetwork`] — the jobs-by-sites convenience wrapper the AMF
 //!   solver drives.
 
@@ -34,6 +39,8 @@ mod bipartite;
 pub mod dinic;
 mod graph;
 pub mod push_relabel;
+mod scratch;
 
-pub use bipartite::AllocationNetwork;
+pub use bipartite::{AllocationNetwork, FlowBackend};
 pub use graph::{EdgeId, FlowNetwork, NodeId};
+pub use scratch::FlowScratch;

@@ -1,33 +1,75 @@
-//! FIFO push–relabel max-flow.
+//! FIFO push–relabel max-flow with the gap heuristic.
 //!
-//! Kept alongside Dinic for two reasons: (a) tests cross-check the two
+//! Kept alongside Dinic for three reasons: (a) tests cross-check the two
 //! implementations against each other on random networks, which catches
-//! bugs neither test suite would alone; (b) the ablation benches compare
-//! their cost profiles on allocation networks (push–relabel tends to win on
-//! dense bipartite graphs, Dinic on sparse ones).
+//! bugs neither test suite would alone; (b) it is a selectable
+//! [`FlowBackend`](crate::FlowBackend) on the allocation network —
+//! push–relabel tends to win on dense bipartite graphs, Dinic on sparse
+//! ones; (c) the ablation benches compare their cost profiles.
+//!
+//! The gap heuristic tracks how many nodes sit at each height below `n`;
+//! when a height empties, every node stranded above the gap (and below `n`)
+//! is provably cut off from the sink and is lifted straight to `n + 1`, so
+//! its excess drains back to the source without climbing one relabel at a
+//! time.
 //!
 //! Note: push–relabel computes the max flow **from scratch** — it does not
-//! support warm starts. The AMF solver uses Dinic; this is a verifier.
+//! support warm starts. Any pre-existing flow is cleared on entry; the
+//! [`Auto`](crate::FlowBackend::Auto) backend therefore routes warm-started
+//! re-checks to Dinic.
 
 use crate::graph::{FlowNetwork, NodeId};
+use crate::scratch::FlowScratch;
 use amf_numeric::{min2, Scalar};
-use std::collections::VecDeque;
 
 /// Compute a maximum flow from `source` to `sink` with FIFO push–relabel.
 /// Any pre-existing flow is cleared. Returns the max-flow value.
+///
+/// Allocates a fresh [`FlowScratch`] per call; hot paths should hold one
+/// and call [`max_flow_with`].
 pub fn max_flow<S: Scalar>(net: &mut FlowNetwork<S>, source: NodeId, sink: NodeId) -> S {
+    let mut scratch = FlowScratch::new();
+    max_flow_with(net, source, sink, &mut scratch)
+}
+
+/// [`max_flow`] with caller-provided working memory: zero allocations once
+/// `scratch` has grown to the network size.
+pub fn max_flow_with<S: Scalar>(
+    net: &mut FlowNetwork<S>,
+    source: NodeId,
+    sink: NodeId,
+    scratch: &mut FlowScratch<S>,
+) -> S {
     assert!(source != sink, "max_flow: source == sink");
     net.reset_flow();
     let n = net.node_count();
-    let mut height: Vec<u32> = vec![0; n];
-    let mut excess: Vec<S> = vec![S::ZERO; n];
-    let mut in_queue: Vec<bool> = vec![false; n];
-    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    scratch.ensure_nodes(n);
+    let FlowScratch {
+        queue,
+        height,
+        excess,
+        in_queue,
+        gap,
+        edges_visited,
+        ..
+    } = scratch;
+    height.iter_mut().for_each(|h| *h = 0);
+    excess.iter_mut().for_each(|x| *x = S::ZERO);
+    in_queue.iter_mut().for_each(|b| *b = false);
+    gap.iter_mut().for_each(|g| *g = 0);
+    queue.clear();
 
     height[source] = n as u32;
+    // Gap counts cover every node except the source (pinned at `n`); the
+    // sink sits permanently at height 0, so no height in `1..n` can look
+    // empty merely because the sink was excluded.
+    gap[0] = (n - 1) as u32;
+
     // Saturate all source edges.
-    let source_edges: Vec<usize> = net.edges_from(source).to_vec();
-    for e in source_edges {
+    let source_degree = net.edges_from(source).len();
+    for i in 0..source_degree {
+        let e = net.edges_from(source)[i];
+        *edges_visited += 1;
         let res = net.residual(e);
         if res.is_positive() {
             let to = net.head(e);
@@ -47,10 +89,12 @@ pub fn max_flow<S: Scalar>(net: &mut FlowNetwork<S>, source: NodeId, sink: NodeI
             v,
             sink,
             source,
-            &mut height,
-            &mut excess,
-            &mut queue,
-            &mut in_queue,
+            height,
+            excess,
+            queue,
+            in_queue,
+            gap,
+            edges_visited,
         );
     }
 
@@ -66,16 +110,23 @@ fn discharge<S: Scalar>(
     source: NodeId,
     height: &mut [u32],
     excess: &mut [S],
-    queue: &mut VecDeque<NodeId>,
+    queue: &mut std::collections::VecDeque<NodeId>,
     in_queue: &mut [bool],
+    gap: &mut [u32],
+    edges_visited: &mut u64,
 ) {
+    let n = net.node_count();
     while excess[v].is_positive() {
         let mut pushed_any = false;
-        let edge_ids: Vec<usize> = net.edges_from(v).to_vec();
-        for e in edge_ids {
+        // Index-based sweep: `net` is mutated inside the loop, so iterate by
+        // position rather than holding (or copying) the adjacency slice.
+        let degree = net.edges_from(v).len();
+        for i in 0..degree {
             if !excess[v].is_positive() {
                 break;
             }
+            let e = net.edges_from(v)[i];
+            *edges_visited += 1;
             let to = net.head(e);
             let res = net.residual(e);
             if res.is_positive() && height[v] == height[to] + 1 {
@@ -97,6 +148,7 @@ fn discharge<S: Scalar>(
             // Relabel: one above the lowest admissible neighbour.
             let mut min_h = u32::MAX;
             for &e in net.edges_from(v) {
+                *edges_visited += 1;
                 if net.residual(e).is_positive() {
                     min_h = min_h.min(height[net.head(e)]);
                 }
@@ -106,11 +158,29 @@ fn discharge<S: Scalar>(
                 // with zero-capacity inputs); drop it.
                 break;
             }
-            height[v] = min_h + 1;
-            if height[v] > 2 * net.node_count() as u32 {
-                // Heights above 2n mean the excess must drain back to the
-                // source; the standard bound guarantees this terminates.
-                // Nothing special to do — the loop continues pushing back.
+            let h_old = height[v];
+            let h_new = min_h + 1;
+            height[v] = h_new;
+            gap[h_old as usize] -= 1;
+            gap[h_new as usize] += 1;
+            if (h_old as usize) < n && gap[h_old as usize] == 0 {
+                // Gap heuristic: height `h_old` just emptied below `n`, so
+                // no node above it can reach the sink any more. Lift every
+                // node stranded in `(h_old, n)` — including `v` if its new
+                // height landed there — straight past `n` so its excess
+                // drains back to the source.
+                let lifted = (n + 1) as u32;
+                for u in 0..n {
+                    if u == source {
+                        continue;
+                    }
+                    let hu = height[u];
+                    if hu > h_old && hu < n as u32 {
+                        gap[hu as usize] -= 1;
+                        gap[lifted as usize] += 1;
+                        height[u] = lifted;
+                    }
+                }
             }
         }
     }
@@ -143,6 +213,7 @@ mod tests {
     #[test]
     fn agrees_with_dinic_on_random_bipartite_graphs() {
         let mut rng = StdRng::seed_from_u64(42);
+        let mut scratch: FlowScratch<f64> = FlowScratch::new();
         for _ in 0..50 {
             let jobs = rng.gen_range(1..8usize);
             let sites = rng.gen_range(1..6usize);
@@ -162,9 +233,11 @@ mod tests {
             }
             let mut g2 = g1.clone();
             let f1 = dinic::max_flow(&mut g1, s, t);
-            let f2 = max_flow(&mut g2, s, t);
+            // Shared scratch across all iterations exercises buffer reuse.
+            let f2 = max_flow_with(&mut g2, s, t, &mut scratch);
             assert!((f1 - f2).abs() < 1e-9, "dinic={f1} pr={f2}");
         }
+        assert!(scratch.reuse_hits() > 0);
     }
 
     #[test]
@@ -197,5 +270,23 @@ mod tests {
         g.add_edge(0, 1, 0.0);
         g.add_edge(1, 2, 5.0);
         assert_eq!(max_flow(&mut g, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn gap_heuristic_handles_dead_end_chains() {
+        // A long chain hanging off the source that cannot reach the sink:
+        // its excess must drain back through the gap-lift path.
+        let mut g: FlowNetwork<f64> = FlowNetwork::new(8);
+        g.add_edge(0, 2, 5.0); // source -> dead-end chain
+        g.add_edge(2, 3, 5.0);
+        g.add_edge(3, 4, 5.0);
+        g.add_edge(0, 5, 2.0); // source -> live path
+        g.add_edge(5, 1, 1.5);
+        let f = max_flow(&mut g, 0, 1);
+        assert!((f - 1.5).abs() < 1e-12);
+        // Flow conservation: nothing is stranded mid-network.
+        for v in 2..8 {
+            assert!(g.net_outflow(v).abs() < 1e-12, "excess stuck at {v}");
+        }
     }
 }

@@ -1,0 +1,130 @@
+//! Reusable scratch buffers for the flow kernels.
+//!
+//! Every max-flow call needs per-node working state: BFS levels and queue,
+//! DFS edge cursors, reachability marks, push–relabel heights and excesses.
+//! Allocating that state on every call dominates the cost of small repeated
+//! solves — the AMF solver runs dozens of max flows per instance and the
+//! sim engine thousands per trace. [`FlowScratch`] owns the buffers once
+//! and is threaded through [`dinic::max_flow_with`](crate::dinic::max_flow_with),
+//! [`push_relabel::max_flow_with`](crate::push_relabel::max_flow_with) and
+//! the [`AllocationNetwork`](crate::AllocationNetwork) helpers, so
+//! steady-state kernel calls are allocation-free.
+
+use amf_numeric::Scalar;
+use std::collections::VecDeque;
+
+/// Reusable working memory for the max-flow kernels and the reachability
+/// helpers.
+///
+/// Create one with [`FlowScratch::new`] (or recover it from a retired
+/// network with [`AllocationNetwork::take_scratch`](crate::AllocationNetwork::take_scratch))
+/// and thread it through repeated solves. Buffers grow to the largest
+/// network seen and are then reused without further allocation; the
+/// [`reuse_hits`](Self::reuse_hits) and [`edges_visited`](Self::edges_visited)
+/// counters let callers attribute the savings.
+#[derive(Debug, Clone)]
+pub struct FlowScratch<S> {
+    /// Dinic BFS levels.
+    pub(crate) level: Vec<u32>,
+    /// Dinic per-node next-edge cursors.
+    pub(crate) iter: Vec<usize>,
+    /// BFS queue (Dinic level construction, push–relabel FIFO).
+    pub(crate) queue: VecDeque<usize>,
+    /// Visited marks for reachability sweeps.
+    pub(crate) seen: Vec<bool>,
+    /// DFS stack for reachability sweeps.
+    pub(crate) stack: Vec<usize>,
+    /// Push–relabel heights.
+    pub(crate) height: Vec<u32>,
+    /// Push–relabel excesses.
+    pub(crate) excess: Vec<S>,
+    /// Push–relabel FIFO membership marks.
+    pub(crate) in_queue: Vec<bool>,
+    /// Push–relabel gap-heuristic population count per height.
+    pub(crate) gap: Vec<u32>,
+    /// Residual edge inspections since the last [`reset_counters`](Self::reset_counters).
+    pub(crate) edges_visited: u64,
+    /// Kernel invocations that found their buffers already sized (no
+    /// allocation performed) since the last counter reset.
+    pub(crate) reuse_hits: u64,
+}
+
+impl<S: Scalar> FlowScratch<S> {
+    /// An empty scratch arena; buffers are sized lazily by the kernels.
+    pub fn new() -> Self {
+        FlowScratch {
+            level: Vec::new(),
+            iter: Vec::new(),
+            queue: VecDeque::new(),
+            seen: Vec::new(),
+            stack: Vec::new(),
+            height: Vec::new(),
+            excess: Vec::new(),
+            in_queue: Vec::new(),
+            gap: Vec::new(),
+            edges_visited: 0,
+            reuse_hits: 0,
+        }
+    }
+
+    /// Size every per-node buffer for an `n`-node network, recording a
+    /// reuse hit when no allocation was needed. Buffer *contents* are
+    /// stale; each kernel initializes what it reads.
+    pub(crate) fn ensure_nodes(&mut self, n: usize) {
+        if self.level.capacity() >= n && self.seen.capacity() >= n && self.height.capacity() >= n {
+            self.reuse_hits += 1;
+        }
+        self.level.resize(n, u32::MAX);
+        self.iter.resize(n, 0);
+        self.seen.resize(n, false);
+        self.height.resize(n, 0);
+        self.excess.resize(n, S::ZERO);
+        self.in_queue.resize(n, false);
+        // Push–relabel heights range over `0..=2n + 1`.
+        let heights = 2 * n + 2;
+        if self.gap.len() < heights {
+            self.gap.resize(heights, 0);
+        }
+    }
+
+    /// Residual edge inspections performed by kernels using this scratch
+    /// since the last [`reset_counters`](Self::reset_counters).
+    pub fn edges_visited(&self) -> u64 {
+        self.edges_visited
+    }
+
+    /// Kernel calls that reused already-sized buffers (performed no
+    /// allocation) since the last counter reset.
+    pub fn reuse_hits(&self) -> u64 {
+        self.reuse_hits
+    }
+
+    /// Zero both diagnostic counters.
+    pub fn reset_counters(&mut self) {
+        self.edges_visited = 0;
+        self.reuse_hits = 0;
+    }
+}
+
+impl<S: Scalar> Default for FlowScratch<S> {
+    fn default() -> Self {
+        FlowScratch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_is_counted_after_first_sizing() {
+        let mut s: FlowScratch<f64> = FlowScratch::new();
+        s.ensure_nodes(8);
+        assert_eq!(s.reuse_hits(), 0, "first sizing allocates");
+        s.ensure_nodes(8);
+        s.ensure_nodes(4);
+        assert_eq!(s.reuse_hits(), 2, "same-or-smaller sizes reuse");
+        s.reset_counters();
+        assert_eq!(s.reuse_hits(), 0);
+    }
+}

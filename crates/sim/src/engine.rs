@@ -118,6 +118,69 @@ pub fn simulate_with_capacity_events(
     )
 }
 
+/// Simulate many traces in parallel, one policy instance per worker
+/// thread, returning reports in trace order.
+///
+/// `make_policy` is invoked once per worker, so stateful policies (e.g.
+/// [`PooledAmf`](amf_core::PooledAmf), whose buffer pool sits behind a
+/// mutex) never contend across threads. Each trace is still simulated by
+/// exactly one worker, so results are identical to calling [`simulate`]
+/// sequentially with any single instance of the same policy.
+///
+/// With one trace or one available core this degenerates to the
+/// sequential loop (no threads spawned).
+///
+/// # Panics
+/// Panics on malformed traces, or if a worker thread panics (a policy or
+/// engine panic propagates).
+pub fn simulate_many<F>(traces: &[Trace], make_policy: F, config: &SimConfig) -> Vec<SimReport>
+where
+    F: Fn() -> Box<dyn AllocationPolicy<f64>> + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(traces.len().max(1));
+    if threads <= 1 {
+        let policy = make_policy();
+        return traces
+            .iter()
+            .map(|t| simulate(t, policy.as_ref(), config))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<SimReport>> = traces.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let make_policy = &make_policy;
+                scope.spawn(move || {
+                    let policy = make_policy();
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= traces.len() {
+                            break;
+                        }
+                        done.push((i, simulate(&traces[i], policy.as_ref(), config)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, report) in handle.join().expect("simulation worker panicked") {
+                slots[i] = Some(report);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every trace simulated"))
+        .collect()
+}
+
 /// Simulate `trace` under a work-aware [`DynamicPolicy`](crate::dynamic::DynamicPolicy) — the policy's
 /// own split is used as the rate matrix (dynamic policies choose their
 /// splits deliberately).
@@ -422,6 +485,37 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    #[test]
+    fn simulate_many_matches_sequential_in_order() {
+        let traces: Vec<Trace> = (1..6)
+            .map(|k| {
+                batch_trace(
+                    vec![4.0 + k as f64, 3.0],
+                    vec![
+                        (vec![6.0 * k as f64, 2.0], vec![3.0, 1.0]),
+                        (vec![4.0, 5.0], vec![2.0, 2.0]),
+                    ],
+                )
+            })
+            .collect();
+        let config = SimConfig::default();
+        let many = simulate_many(
+            &traces,
+            || Box::new(amf_core::PooledAmf::<f64>::new(AmfSolver::new())),
+            &config,
+        );
+        assert_eq!(many.len(), traces.len());
+        let solver = AmfSolver::new();
+        for (trace, parallel) in traces.iter().zip(&many) {
+            let sequential = simulate(trace, &solver, &config);
+            assert_eq!(parallel.makespan, sequential.makespan);
+            for (a, b) in parallel.jobs.iter().zip(&sequential.jobs) {
+                assert_eq!(a.completion, b.completion);
+            }
+        }
+        assert!(simulate_many(&[], || Box::new(AmfSolver::new()), &config).is_empty());
     }
 
     #[test]

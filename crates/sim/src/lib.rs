@@ -45,7 +45,8 @@ pub mod tasks;
 
 pub use dynamic::{AmfBalanced, DynamicPolicy, SrptPerSite};
 pub use engine::{
-    simulate, simulate_dynamic, simulate_with_capacity_events, CapacityEvent, SimConfig,
+    simulate, simulate_dynamic, simulate_many, simulate_with_capacity_events, CapacityEvent,
+    SimConfig,
 };
 pub use report::{JobOutcome, SimReport};
 pub use split::SplitStrategy;

@@ -9,6 +9,9 @@
 //!   hard errors (raw `f64` equality, `partial_cmp().unwrap()`, unwrapping
 //!   flow results).
 //! * `fmt` — apply rustfmt to the whole workspace.
+//! * `bench` — run the pinned solver benchmark (`bench_solver`, release
+//!   profile) and validate the `BENCH_solver.json` it writes at the
+//!   workspace root. `--smoke` forwards the bin's quick mode for CI.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -22,6 +25,7 @@ fn main() -> ExitCode {
     match task.as_deref() {
         Some("lint") => lint(),
         Some("fmt") => fmt(),
+        Some("bench") => bench(env::args().nth(2).as_deref() == Some("--smoke")),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             usage();
@@ -35,9 +39,10 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <lint|fmt>");
-    eprintln!("  lint  run the static-analysis gate (rustfmt --check + clippy -D warnings)");
-    eprintln!("  fmt   apply rustfmt to the workspace");
+    eprintln!("usage: cargo xtask <lint|fmt|bench [--smoke]>");
+    eprintln!("  lint   run the static-analysis gate (rustfmt --check + clippy -D warnings)");
+    eprintln!("  fmt    apply rustfmt to the workspace");
+    eprintln!("  bench  run the pinned solver benchmark and validate BENCH_solver.json");
 }
 
 /// The workspace root: one level above this crate's manifest directory.
@@ -137,6 +142,58 @@ fn lint() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Keys every `BENCH_solver.json` must contain (schema
+/// `amf-bench-solver/v1`); checked textually so xtask stays
+/// dependency-free.
+const BENCH_REQUIRED_KEYS: &[&str] = &[
+    "\"schema\"",
+    "\"amf-bench-solver/v1\"",
+    "\"sweep\"",
+    "\"e8_400x20\"",
+    "\"batch\"",
+    "\"kernels\"",
+];
+
+fn bench(smoke: bool) -> ExitCode {
+    let out = workspace_root().join("BENCH_solver.json");
+    let out_str = out.to_string_lossy().into_owned();
+    let mut args: Vec<&str> = vec![
+        "run",
+        "--release",
+        "-p",
+        "amf-bench",
+        "--bin",
+        "bench_solver",
+        "--",
+    ];
+    if smoke {
+        args.push("--smoke");
+    }
+    args.extend_from_slice(&["--out", &out_str]);
+    if !run("bench_solver (release)", "cargo", &args) {
+        return ExitCode::FAILURE;
+    }
+    let json = match std::fs::read_to_string(&out) {
+        Ok(s) if !s.trim().is_empty() => s,
+        Ok(_) => {
+            eprintln!("xtask: {} is empty", out.display());
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("xtask: benchmark report missing at {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for key in BENCH_REQUIRED_KEYS {
+        if !json.contains(key) {
+            eprintln!("xtask: {} is malformed: missing {key}", out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("==> benchmark report validated: {}", out.display());
+    ExitCode::SUCCESS
 }
 
 fn fmt() -> ExitCode {
