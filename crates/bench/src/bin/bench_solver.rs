@@ -2,7 +2,7 @@
 //!
 //! Measures the shrinking-network solver core against the legacy
 //! full-network path on a fixed instance sweep and writes a machine-readable
-//! report (schema `amf-bench-solver/v1`) with four sections:
+//! report (schema `amf-bench-solver/v2`) with five sections:
 //!
 //! * `sweep` — per-point wall time (min of reps after a warm-up) for the
 //!   four solver arms, with work counters and an audit-agreement verdict;
@@ -10,7 +10,11 @@
 //!   path on the E8 400-job / 20-site instance, plus the speedup against
 //!   the pinned pre-optimization baseline;
 //! * `batch` — `solve_batch_with` thread-scaling sweep;
-//! * `kernels` — raw max-flow kernel micro-timings (Dinic vs push–relabel).
+//! * `kernels` — raw max-flow kernel micro-timings (Dinic vs push–relabel);
+//! * `event_loop` — online simulation throughput on a staggered-arrival
+//!   400×20 trace with capacity events: the delta-driven incremental
+//!   session vs per-event from-scratch solves, with replay counters and a
+//!   report-agreement verdict (v2 addition; v1 readers see a superset).
 //!
 //! Flags: `--smoke` (1 rep, small batch — CI wiring check), `--out PATH`
 //! (default `BENCH_solver.json` in the current directory).
@@ -19,6 +23,11 @@ use amf_audit::audit;
 use amf_bench::experiments::skewed_workload;
 use amf_core::{AmfSolver, FairnessMode, FlowBackend, Instance, SolveOutput, SolverPool};
 use amf_flow::AllocationNetwork;
+use amf_sim::{
+    simulate_incremental_with_stats, simulate_with_capacity_events, AmfIncremental, CapacityEvent,
+    SimConfig, SimReport, SplitStrategy,
+};
+use amf_workload::trace::Trace;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -37,6 +46,7 @@ struct Report {
     e8_400x20: Headline,
     batch: BatchSection,
     kernels: Vec<KernelTiming>,
+    event_loop: EventLoopSection,
 }
 
 #[derive(Serialize)]
@@ -90,6 +100,29 @@ struct BatchPoint {
     threads: usize,
     ms: f64,
     speedup_vs_one_thread: f64,
+}
+
+#[derive(Serialize)]
+struct EventLoopSection {
+    jobs: usize,
+    sites: usize,
+    capacity_events: usize,
+    /// Scheduling events (arrival / portion completion / departure /
+    /// capacity change) — identical for both arms when the reports agree.
+    reallocations: usize,
+    from_scratch_ms: f64,
+    incremental_ms: f64,
+    speedup_vs_from_scratch: f64,
+    /// Freeze rounds the incremental session replayed from its cached
+    /// round log across the whole event loop.
+    rounds_replayed: usize,
+    /// Freeze rounds the incremental session had to re-solve.
+    rounds_resolved: usize,
+    dinkelbach_iterations: usize,
+    max_flows: usize,
+    /// Both engines produced the same report (completions within 1e-6,
+    /// equal reallocation counts and makespan).
+    reports_agree: bool,
 }
 
 #[derive(Serialize)]
@@ -264,6 +297,100 @@ fn kernel_timings(smoke: bool, reps: usize) -> Vec<KernelTiming> {
     timings
 }
 
+/// Whether two simulation reports describe the same trajectory: equal
+/// reallocation counts, makespans and per-job completions within 1e-6.
+fn reports_agree(a: &SimReport, b: &SimReport) -> bool {
+    if a.jobs.len() != b.jobs.len() || a.reallocations != b.reallocations {
+        return false;
+    }
+    if (a.makespan - b.makespan).abs() > 1e-6 * (1.0 + a.makespan.abs()) {
+        return false;
+    }
+    a.jobs
+        .iter()
+        .zip(&b.jobs)
+        .all(|(x, y)| match (x.completion, y.completion) {
+            (Some(p), Some(q)) => (p - q).abs() <= 1e-6 * (1.0 + p.abs().max(q.abs())),
+            (None, None) => true,
+            _ => false,
+        })
+}
+
+/// Online event-loop throughput: a staggered-arrival trace plus capacity
+/// events, solved per scheduling event either from scratch (through a
+/// persistent [`SolverPool`]) or by the delta-driven incremental session.
+/// Both arms use the balanced-progress split, which is a pure function of
+/// the (unique) fair aggregates — so the two engines must follow the same
+/// trajectory and their reports are asserted to agree.
+fn event_loop_section(smoke: bool, reps: usize) -> EventLoopSection {
+    let (n, m) = if smoke { (60, 10) } else { (400, 20) };
+    let mut workload = skewed_workload(1.2, n, m, m.min(5), 99);
+    let base_cap = 15.0 * n as f64 / m as f64;
+    workload.capacities = vec![base_cap; m];
+    // Jobs trickle in over 50 time units, so most scheduling events touch a
+    // single job — the case the delta path is built for.
+    let arrivals: Vec<f64> = (0..n).map(|j| j as f64 * 50.0 / n as f64).collect();
+    let trace = Trace::with_arrivals(&workload, &arrivals);
+    let mut events = Vec::new();
+    for k in 0..m / 2 {
+        let site = (2 * k) % m;
+        let t = 8.0 + 12.0 * k as f64;
+        events.push(CapacityEvent {
+            time: t,
+            site,
+            capacity: 0.6 * base_cap,
+        });
+        events.push(CapacityEvent {
+            time: t + 6.0,
+            site,
+            capacity: base_cap,
+        });
+    }
+    let split = SplitStrategy::BalancedProgress { repair_rounds: 4 };
+    let config = SimConfig {
+        split,
+        ..SimConfig::default()
+    };
+    let solver = AmfSolver::new();
+
+    let mut scratch_report = simulate_with_capacity_events(&trace, &solver, &config, &events);
+    let mut from_scratch_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        scratch_report = simulate_with_capacity_events(&trace, &solver, &config, &events);
+        from_scratch_ms = from_scratch_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let policy = AmfIncremental::with_split(solver, split);
+    let (mut incr_report, mut stats) =
+        simulate_incremental_with_stats(&trace, &policy, &config, &events);
+    let mut incremental_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (report, s) = simulate_incremental_with_stats(&trace, &policy, &config, &events);
+        incremental_ms = incremental_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        incr_report = report;
+        stats = s;
+    }
+    assert!(stats.incremental, "AmfIncremental must provide a session");
+
+    let agree = reports_agree(&scratch_report, &incr_report);
+    EventLoopSection {
+        jobs: n,
+        sites: m,
+        capacity_events: events.len(),
+        reallocations: incr_report.reallocations,
+        from_scratch_ms,
+        incremental_ms,
+        speedup_vs_from_scratch: from_scratch_ms / incremental_ms,
+        rounds_replayed: stats.rounds_replayed,
+        rounds_resolved: stats.rounds_resolved,
+        dinkelbach_iterations: stats.dinkelbach_iterations,
+        max_flows: stats.max_flows,
+        reports_agree: agree,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = String::from("BENCH_solver.json");
@@ -301,9 +428,11 @@ fn main() {
     let batch = batch_section(smoke, reps);
     eprintln!("bench_solver: kernel micro-timings...");
     let kernels = kernel_timings(smoke, reps);
+    eprintln!("bench_solver: online event loop (incremental vs from-scratch)...");
+    let event_loop = event_loop_section(smoke, reps);
 
     let report = Report {
-        schema: "amf-bench-solver/v1",
+        schema: "amf-bench-solver/v2",
         smoke,
         reps,
         hardware: Hardware {
@@ -317,6 +446,7 @@ fn main() {
         e8_400x20: e8,
         batch,
         kernels,
+        event_loop,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write benchmark report");
@@ -329,6 +459,18 @@ fn main() {
         report.e8_400x20.speedup_vs_seed_baseline,
         SEED_BASELINE_400X20_MS,
     );
+    println!(
+        "event loop {}x{}: incremental {:.4} ms vs from-scratch {:.4} ms ({:.2}x), \
+         {} rounds replayed / {} re-solved over {} reallocations",
+        report.event_loop.jobs,
+        report.event_loop.sites,
+        report.event_loop.incremental_ms,
+        report.event_loop.from_scratch_ms,
+        report.event_loop.speedup_vs_from_scratch,
+        report.event_loop.rounds_replayed,
+        report.event_loop.rounds_resolved,
+        report.event_loop.reallocations,
+    );
     for point in &report.sweep {
         assert!(
             point.audit_agreement,
@@ -336,4 +478,8 @@ fn main() {
             point.jobs, point.sites
         );
     }
+    assert!(
+        report.event_loop.reports_agree,
+        "incremental and from-scratch engines disagree on the event-loop trace"
+    );
 }

@@ -1,9 +1,12 @@
 //! E7 — online simulation with Poisson arrivals across offered loads.
 
 use crate::ExpContext;
-use amf_core::{AllocationPolicy, AmfSolver, PerSiteMaxMin, PooledAmf};
+use amf_core::{AllocationPolicy, AmfSolver, PerSiteMaxMin};
 use amf_metrics::{fmt2, fmt4, percentile, Table};
-use amf_sim::{simulate_many, SimConfig, SplitStrategy};
+use amf_sim::{
+    simulate_incremental_with_stats, simulate_many, AmfIncremental, SimConfig, SimReport,
+    SplitStrategy,
+};
 use amf_workload::arrivals::{poisson_arrivals, rate_for_load};
 use amf_workload::trace::Trace;
 use amf_workload::{CapacityModel, DemandModel, SitePlacement, SiteSkew, SizeDist, WorkloadConfig};
@@ -63,17 +66,20 @@ impl OnlineParams {
 /// AMF (+ JCT add-on) vs the per-site baseline.
 pub fn online_load(ctx: &ExpContext, params: &OnlineParams) -> Table {
     ctx.log(&format!("[E7] online load sweep: {params:?}"));
-    type Contender = (
-        &'static str,
-        fn() -> Box<dyn AllocationPolicy<f64>>,
-        SimConfig,
-    );
-    let contenders: Vec<Contender> = vec![
+    /// How a contender's event loop runs: through a persistent
+    /// delta-driven AMF session (DESIGN.md §2.7), or by from-scratch
+    /// policy re-solves on every scheduling event.
+    enum Arm {
+        Incremental,
+        Policy(fn() -> Box<dyn AllocationPolicy<f64>>),
+    }
+    let contenders: Vec<(&'static str, Arm, SimConfig)> = vec![
         (
+            // The incremental engine's results are identical to
+            // from-scratch re-solves — the
+            // `e7_incremental_engine_matches_from_scratch` test pins that.
             "amf+jct",
-            // Pooled: the simulator re-solves on every scheduling event,
-            // so the flow arena and per-round buffers are reused per run.
-            || Box::new(PooledAmf::<f64>::new(AmfSolver::new())),
+            Arm::Incremental,
             SimConfig {
                 split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
                 ..SimConfig::default()
@@ -81,7 +87,7 @@ pub fn online_load(ctx: &ExpContext, params: &OnlineParams) -> Table {
         ),
         (
             "per-site-max-min",
-            || Box::new(PerSiteMaxMin),
+            Arm::Policy(|| Box::new(PerSiteMaxMin)),
             SimConfig {
                 split: SplitStrategy::PolicySplit,
                 ..SimConfig::default()
@@ -122,8 +128,21 @@ pub fn online_load(ctx: &ExpContext, params: &OnlineParams) -> Table {
                     Trace::with_arrivals(&workload, &arrivals)
                 })
                 .collect();
-            for (c, (_, make_policy, config)) in contenders.iter().enumerate() {
-                for report in simulate_many(&traces, make_policy, config) {
+            for (c, (_, arm, config)) in contenders.iter().enumerate() {
+                let reports: Vec<SimReport> = match arm {
+                    Arm::Incremental => traces
+                        .iter()
+                        .map(|trace| {
+                            let policy = AmfIncremental::with_split(
+                                AmfSolver::new(),
+                                SplitStrategy::BalancedProgress { repair_rounds: 4 },
+                            );
+                            simulate_incremental_with_stats(trace, &policy, config, &[]).0
+                        })
+                        .collect(),
+                    Arm::Policy(make_policy) => simulate_many(&traces, make_policy, config),
+                };
+                for report in reports {
                     let jcts = report.jcts();
                     acc[c].0 += report.mean_jct();
                     acc[c].1 += percentile(&jcts, 95.0);
@@ -161,10 +180,71 @@ pub fn online_load(ctx: &ExpContext, params: &OnlineParams) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amf_core::PooledAmf;
+    use amf_sim::simulate;
 
     #[test]
     fn e7_runs() {
         let table = online_load(&ExpContext::silent(), &OnlineParams::fast());
         assert_eq!(table.n_rows(), 2);
+    }
+
+    /// The E7 AMF arm runs through the incremental engine; this pins that
+    /// it reports exactly what per-event from-scratch re-solves report
+    /// (BalancedProgress splits are a pure function of the unique fair
+    /// aggregates, so the two trajectories coincide).
+    #[test]
+    fn e7_incremental_engine_matches_from_scratch() {
+        let params = OnlineParams::fast();
+        let mut rng = StdRng::seed_from_u64(41);
+        let workload = WorkloadConfig {
+            n_sites: params.n_sites,
+            site_capacity: 100.0,
+            capacity_model: CapacityModel::Uniform,
+            n_jobs: params.n_jobs,
+            sites_per_job: params.sites_per_job,
+            total_work: SizeDist::Exponential {
+                mean: params.mean_work,
+            },
+            total_parallelism: SizeDist::Constant { value: 30.0 },
+            skew: SiteSkew::Zipf {
+                alpha: params.alpha,
+            },
+            placement: SitePlacement::Popularity { gamma: 1.0 },
+            demand_model: DemandModel::ElasticPerSite,
+        }
+        .generate(&mut rng);
+        let rate = rate_for_load(0.7, 100.0 * params.n_sites as f64, params.mean_work);
+        let arrivals = poisson_arrivals(params.n_jobs, rate, &mut rng);
+        let trace = Trace::with_arrivals(&workload, &arrivals);
+        let config = SimConfig {
+            split: SplitStrategy::BalancedProgress { repair_rounds: 4 },
+            ..SimConfig::default()
+        };
+
+        let scratch = simulate(&trace, &PooledAmf::<f64>::new(AmfSolver::new()), &config);
+        let policy = AmfIncremental::with_split(
+            AmfSolver::new(),
+            SplitStrategy::BalancedProgress { repair_rounds: 4 },
+        );
+        let (incremental, stats) = simulate_incremental_with_stats(&trace, &policy, &config, &[]);
+
+        assert!(stats.incremental, "the AMF arm must use the session engine");
+        assert_eq!(incremental.jobs.len(), scratch.jobs.len());
+        assert_eq!(incremental.reallocations, scratch.reallocations);
+        for (a, b) in incremental.jobs.iter().zip(&scratch.jobs) {
+            match (a.completion, b.completion) {
+                (Some(x), Some(y)) => assert!(
+                    (x - y).abs() < 1e-6 * (1.0 + y.abs()),
+                    "completion diverged: {x} vs {y}"
+                ),
+                (None, None) => {}
+                _ => panic!("one engine finished a job the other did not"),
+            }
+        }
+        assert!(
+            (incremental.makespan - scratch.makespan).abs() < 1e-6 * (1.0 + scratch.makespan.abs()),
+            "makespan diverged"
+        );
     }
 }

@@ -13,7 +13,8 @@ USAGE:
                  [--no-contraction] [--explain] [--dot] < trace.json
                                                 # allocation table / DOT graph
     amf simulate [--policy P] [--jct-addon] [--engine fluid|slots]
-                 < trace.json
+                 [--incremental] < trace.json
+                 # --incremental: delta-driven AMF session (fluid engine only)
     amf check    < trace.json                   # fairness properties of AMF
     amf audit    [--policy P] [--mode plain|enhanced] [--json] < trace.json
                  # certificate-based audit of the policy's allocation
@@ -33,6 +34,9 @@ NOTES:
     solve: --backend picks the max-flow kernel (default dinic) and
          --no-contraction disables the shrinking-network optimization;
          both apply to AMF policies only and never change the allocation.
+    simulate: --incremental feeds the event loop through a persistent
+         delta-driven AMF session (same results, fewer re-solves) and
+         reports how many freeze rounds were replayed vs. re-solved.
 ";
 
 /// Parameters of `amf gen`.
@@ -77,6 +81,8 @@ pub struct SimulateParams {
     pub jct_addon: bool,
     /// Execution engine: "fluid" (default) or "slots".
     pub engine: String,
+    /// Drive the event loop through a persistent incremental AMF session.
+    pub incremental: bool,
 }
 
 /// Parameters of `amf audit`.
@@ -192,10 +198,17 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             if engine != "fluid" && engine != "slots" {
                 return Err(ParseError(format!("unknown engine: {engine}")));
             }
+            let incremental = argv[1..].iter().any(|a| a == "--incremental");
+            if incremental && engine != "fluid" {
+                return Err(ParseError(format!(
+                    "--incremental requires the fluid engine (got {engine})"
+                )));
+            }
             Ok(Command::Simulate(SimulateParams {
                 policy: value_of(&argv[1..], "--policy")?.unwrap_or_else(|| "amf".into()),
                 jct_addon: argv[1..].iter().any(|a| a == "--jct-addon"),
                 engine,
+                incremental,
             }))
         }
         Some("check") => Ok(Command::Check),
@@ -331,6 +344,7 @@ mod tests {
                 policy: "per-site-max-min".into(),
                 jct_addon: true,
                 engine: "fluid".into(),
+                incremental: false,
             })
         );
         assert_eq!(
@@ -339,8 +353,19 @@ mod tests {
                 policy: "amf".into(),
                 jct_addon: false,
                 engine: "slots".into(),
+                incremental: false,
             })
         );
+        assert_eq!(
+            parse(&sv(&["simulate", "--incremental"])).unwrap(),
+            Command::Simulate(SimulateParams {
+                policy: "amf".into(),
+                jct_addon: false,
+                engine: "fluid".into(),
+                incremental: true,
+            })
+        );
+        assert!(parse(&sv(&["simulate", "--engine", "slots", "--incremental"])).is_err());
         assert!(parse(&sv(&["simulate", "--engine", "quantum"])).is_err());
     }
 

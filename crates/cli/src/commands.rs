@@ -174,7 +174,32 @@ pub fn solve(p: &SolveParams, stdin: &str) -> Result<String, String> {
 /// `amf simulate`.
 pub fn simulate_cmd(p: &SimulateParams, stdin: &str) -> Result<String, String> {
     let trace = read_trace(stdin)?;
-    let report = if p.policy == "srpt-per-site" {
+    let split = if p.jct_addon {
+        SplitStrategy::BalancedProgress { repair_rounds: 4 }
+    } else {
+        SplitStrategy::PolicySplit
+    };
+    let mut loop_stats = None;
+    let report = if p.incremental {
+        let solver = match p.policy.as_str() {
+            "amf" => AmfSolver::new(),
+            "amf-enhanced" => AmfSolver::enhanced(),
+            other => {
+                return Err(format!(
+                    "--incremental requires an AMF policy (got {other})"
+                ))
+            }
+        };
+        let policy = amf_sim::AmfIncremental::with_split(solver, split);
+        let config = SimConfig {
+            split,
+            ..SimConfig::default()
+        };
+        let (report, stats) =
+            amf_sim::simulate_incremental_with_stats(&trace, &policy, &config, &[]);
+        loop_stats = Some(stats);
+        report
+    } else if p.policy == "srpt-per-site" {
         if p.engine == "slots" {
             return Err("srpt-per-site only supports the fluid engine".into());
         }
@@ -182,11 +207,7 @@ pub fn simulate_cmd(p: &SimulateParams, stdin: &str) -> Result<String, String> {
     } else {
         let policy = lookup_policy(&p.policy)?;
         let config = SimConfig {
-            split: if p.jct_addon {
-                SplitStrategy::BalancedProgress { repair_rounds: 4 }
-            } else {
-                SplitStrategy::PolicySplit
-            },
+            split,
             ..SimConfig::default()
         };
         match p.engine.as_str() {
@@ -197,10 +218,11 @@ pub fn simulate_cmd(p: &SimulateParams, stdin: &str) -> Result<String, String> {
     let jcts = report.jcts();
     let mut out = String::new();
     out.push_str(&format!(
-        "policy = {}{} (engine: {})\n",
+        "policy = {}{} (engine: {}{})\n",
         p.policy,
         if p.jct_addon { " + jct-addon" } else { "" },
         p.engine,
+        if p.incremental { ", incremental" } else { "" },
     ));
     out.push_str(&format!(
         "jobs finished = {}/{}\n",
@@ -215,6 +237,12 @@ pub fn simulate_cmd(p: &SimulateParams, stdin: &str) -> Result<String, String> {
         fmt4(report.mean_utilization)
     ));
     out.push_str(&format!("reallocations = {}\n", report.reallocations));
+    if let Some(stats) = loop_stats {
+        out.push_str(&format!(
+            "rounds replayed / re-solved = {} / {}\n",
+            stats.rounds_replayed, stats.rounds_resolved
+        ));
+    }
     Ok(out)
 }
 
@@ -453,6 +481,7 @@ mod tests {
                 policy: "per-site-max-min".into(),
                 jct_addon: false,
                 engine: "fluid".into(),
+                incremental: false,
             },
             &json,
         )
@@ -516,6 +545,7 @@ mod tests {
                 policy: "amf".into(),
                 jct_addon: false,
                 engine: "slots".into(),
+                incremental: false,
             },
             &json,
         )
@@ -526,6 +556,7 @@ mod tests {
                 policy: "srpt-per-site".into(),
                 jct_addon: false,
                 engine: "fluid".into(),
+                incremental: false,
             },
             &json,
         )
@@ -536,10 +567,72 @@ mod tests {
                 policy: "srpt-per-site".into(),
                 jct_addon: false,
                 engine: "slots".into(),
+                incremental: false,
             },
             &json,
         )
         .is_err());
+    }
+
+    #[test]
+    fn simulate_incremental_matches_from_scratch_and_reports_replays() {
+        let json = generate(&gen_params()).unwrap();
+        // BalancedProgress splits are a pure function of the (unique) fair
+        // aggregates, so both engines follow the same trajectory and every
+        // reported metric agrees.
+        let base = SimulateParams {
+            policy: "amf".into(),
+            jct_addon: true,
+            engine: "fluid".into(),
+            incremental: false,
+        };
+        let scratch = simulate_cmd(&base, &json).unwrap();
+        let incremental = simulate_cmd(
+            &SimulateParams {
+                incremental: true,
+                ..base.clone()
+            },
+            &json,
+        )
+        .unwrap();
+        assert!(
+            incremental.contains("engine: fluid, incremental"),
+            "{incremental}"
+        );
+        assert!(
+            incremental.contains("rounds replayed / re-solved ="),
+            "{incremental}"
+        );
+        let metric = |out: &str, key: &str| {
+            out.lines()
+                .find(|l| l.starts_with(key))
+                .map(str::to_string)
+                .unwrap_or_else(|| panic!("missing {key} in {out}"))
+        };
+        for key in [
+            "jobs finished",
+            "mean_jct",
+            "p95_jct",
+            "makespan",
+            "mean_utilization",
+            "reallocations",
+        ] {
+            assert_eq!(metric(&scratch, key), metric(&incremental, key));
+        }
+        // Non-AMF policies reject --incremental with a typed error.
+        let err = simulate_cmd(
+            &SimulateParams {
+                policy: "per-site-max-min".into(),
+                incremental: true,
+                ..base
+            },
+            &json,
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("--incremental requires an AMF policy"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@
 
 mod baselines;
 pub mod dot;
+pub mod incremental;
 pub mod levels;
 mod model;
 mod policy;
@@ -70,6 +71,7 @@ mod water;
 pub use amf_flow::FlowBackend;
 pub use baselines::{pooled_max_min_bound, EqualDivision, PerSiteMaxMin, ProportionalToDemand};
 pub use dot::to_dot;
+pub use incremental::{Delta, DeltaError, IncrementalAmf, JobId};
 pub use model::{Allocation, Instance, ModelError};
 pub use policy::{AllocationPolicy, PooledAmf};
 pub use reference::{reference_aggregates, MAX_REFERENCE_JOBS};

@@ -17,6 +17,16 @@ pub trait AllocationPolicy<S: Scalar>: Send + Sync {
     /// Compute an allocation for the instance. Must return a feasible
     /// allocation with one row per job.
     fn allocate(&self, inst: &Instance<S>) -> Allocation<S>;
+
+    /// Like [`allocate`](Self::allocate), but offered a caller-owned
+    /// [`SolverPool`] so policies that run a solver can reuse its buffers
+    /// across invocations (the simulator re-solves on every scheduling
+    /// event). The default implementation ignores the pool — only
+    /// solver-backed policies benefit.
+    fn allocate_with_pool(&self, inst: &Instance<S>, pool: &mut SolverPool<S>) -> Allocation<S> {
+        let _ = pool;
+        self.allocate(inst)
+    }
 }
 
 impl<S: Scalar> AllocationPolicy<S> for AmfSolver {
@@ -29,6 +39,10 @@ impl<S: Scalar> AllocationPolicy<S> for AmfSolver {
 
     fn allocate(&self, inst: &Instance<S>) -> Allocation<S> {
         self.solve(inst).allocation
+    }
+
+    fn allocate_with_pool(&self, inst: &Instance<S>, pool: &mut SolverPool<S>) -> Allocation<S> {
+        self.solve_with_pool(inst, pool).allocation
     }
 }
 

@@ -111,6 +111,14 @@ pub struct SolveStats {
     /// Times a kernel invocation found its scratch arena already sized —
     /// i.e. ran allocation-free.
     pub scratch_reuse_hits: u64,
+    /// Freeze rounds an incremental session verified against its cached
+    /// round log and replayed without re-solving (always 0 on the
+    /// from-scratch paths).
+    pub rounds_replayed: usize,
+    /// Freeze rounds an incremental session had to re-solve by Dinkelbach
+    /// descent after a delta invalidated the cached suffix (always 0 on
+    /// the from-scratch paths, where `rounds` counts that work).
+    pub rounds_resolved: usize,
 }
 
 /// Result of an AMF solve: the allocation, the frozen levels, and stats.
@@ -1092,7 +1100,7 @@ fn residual_budget_agrees<S: Scalar>(
 
 /// Relative-tolerance equality used for flow-vs-target comparisons, where
 /// both sides are sums over up to `n` jobs. Exact types compare exactly.
-fn close_rel<S: Scalar>(a: S, b: S) -> bool {
+pub(crate) fn close_rel<S: Scalar>(a: S, b: S) -> bool {
     let diff = if a > b { a - b } else { b - a };
     let scale = S::ONE + max2(a, b);
     !(diff > S::eps() * scale)

@@ -1,0 +1,231 @@
+//! Property test for the incremental session: random delta sequences
+//! (arrivals, departures, demand changes, capacity changes) driven through
+//! [`IncrementalAmf`] must agree with a from-scratch solve of the current
+//! instance after **every** delta — bit-exactly on [`Rational`], within
+//! 1e-6 on `f64` — and every intermediate state must earn the independent
+//! `amf-audit` certificate. Same standard as `shrink_equivalence.rs`.
+
+use amf_audit::audit;
+use amf_core::{AmfSolver, Delta, FairnessMode, IncrementalAmf, JobId};
+use amf_numeric::{Rational, Scalar};
+use proptest::prelude::*;
+
+/// Abstract delta ops with free indices; [`deltas_from_ops`] interprets
+/// them against the set of live job ids so every executed delta is valid
+/// by construction (removals and demand changes target a live job, site
+/// indices are reduced modulo the site count).
+#[derive(Debug, Clone)]
+enum Op {
+    Add {
+        demands: Vec<i64>,
+        weight: i64,
+    },
+    Remove {
+        pick: usize,
+    },
+    Demand {
+        pick: usize,
+        site: usize,
+        value: i64,
+    },
+    Capacity {
+        site: usize,
+        value: i64,
+    },
+}
+
+fn op_strategy(m: usize) -> impl Strategy<Value = Op> {
+    // The vendored proptest has no `prop_oneof`; a weighted discriminant
+    // plus a superset of fields picks the op shape (4:2:3:2 mix).
+    (
+        0u8..11,
+        proptest::collection::vec(0i64..12, m),
+        1i64..=3,
+        0usize..1usize << 20,
+        0..m,
+        0i64..24,
+    )
+        .prop_map(|(tag, demands, weight, pick, site, value)| match tag {
+            0..=3 => Op::Add { demands, weight },
+            4 | 5 => Op::Remove { pick },
+            6..=8 => Op::Demand {
+                pick,
+                site,
+                value: value % 12,
+            },
+            _ => Op::Capacity { site, value },
+        })
+}
+
+/// Random shapes: site capacities, a delta script, the fairness mode, and
+/// whether arrivals carry non-uniform weights. Unweighted scripts keep the
+/// envy-freeness certificate in play (see [`certified`]), weighted ones
+/// exercise the weighted level caps.
+fn script() -> impl Strategy<Value = (Vec<i64>, Vec<Op>, bool, bool)> {
+    (1usize..=4, 0u8..2, 0u8..2).prop_flat_map(|(m, enhanced, weighted)| {
+        (
+            proptest::collection::vec(1i64..24, m),
+            proptest::collection::vec(op_strategy(m), 1..14),
+            Just(enhanced == 1),
+            Just(weighted == 1),
+        )
+    })
+}
+
+/// Interpret the abstract ops into a concrete, always-valid delta stream.
+/// When `weighted` is false every arrival gets weight 1.
+fn deltas_from_ops<S: Scalar>(
+    m: usize,
+    ops: &[Op],
+    weighted: bool,
+    conv: impl Fn(i64) -> S,
+) -> Vec<Delta<S>> {
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = 0u64;
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            Op::Add { demands, weight } => {
+                out.push(Delta::AddJob {
+                    id: JobId(next_id),
+                    demands: demands.iter().map(|&d| conv(d)).collect(),
+                    weight: conv(if weighted { *weight } else { 1 }),
+                });
+                live.push(next_id);
+                next_id += 1;
+            }
+            Op::Remove { pick } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.swap_remove(pick % live.len());
+                out.push(Delta::RemoveJob { id: JobId(id) });
+            }
+            Op::Demand { pick, site, value } => {
+                if live.is_empty() {
+                    continue;
+                }
+                out.push(Delta::DemandChange {
+                    id: JobId(live[pick % live.len()]),
+                    site: site % m,
+                    demand: conv(*value),
+                });
+            }
+            Op::Capacity { site, value } => {
+                out.push(Delta::CapacityChange {
+                    site: site % m,
+                    capacity: conv(*value),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn solver(enhanced: bool) -> AmfSolver {
+    if enhanced {
+        AmfSolver::enhanced()
+    } else {
+        AmfSolver::new()
+    }
+}
+
+fn mode(enhanced: bool) -> FairnessMode {
+    if enhanced {
+        FairnessMode::Enhanced
+    } else {
+        FairnessMode::Plain
+    }
+}
+
+/// Whether `report` certifies the state. Plain AMF's envy-freeness theorem
+/// is an *unweighted* property: under non-uniform weights even a fully
+/// demand-capped light job "envies" a heavy job's bundle once the cert
+/// normalizes by weight, so weighted Plain states are held to the
+/// weight-agnostic core (feasibility + lex-optimality + Pareto) instead of
+/// the full certificate. Enhanced and unweighted states get the full gate.
+fn certified<S: amf_numeric::Scalar>(
+    report: &amf_audit::AuditReport<S>,
+    enhanced: bool,
+    weighted: bool,
+) -> bool {
+    if enhanced || !weighted {
+        report.is_certified_amf()
+    } else {
+        report.feasibility.is_proved()
+            && report.lex_optimality.is_proved()
+            && report.pareto.is_proved()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact rationals: after every delta the session's aggregates and its
+    /// freeze-round log are bit-identical to a from-scratch solve of the
+    /// same instance, and each state is audit-certified.
+    #[test]
+    fn delta_sequences_are_bit_exact_on_rationals((caps, ops, enhanced, weighted) in script()) {
+        let m = caps.len();
+        let s = solver(enhanced);
+        let mut session = IncrementalAmf::new(
+            s,
+            caps.iter().map(|&c| Rational::from_int(c as i128)).collect(),
+        )
+        .expect("valid capacities");
+        for delta in deltas_from_ops(m, &ops, weighted, |v| Rational::from_int(v as i128)) {
+            session.apply(delta).expect("interpreted deltas are valid");
+            let out = session.solve().clone();
+            let inst = session.instance();
+            let reference = s.solve(&inst);
+            prop_assert_eq!(
+                out.allocation.aggregates(),
+                reference.allocation.aggregates(),
+                "aggregates diverge from scratch solve"
+            );
+            prop_assert_eq!(&out.rounds, &reference.rounds, "freeze rounds diverge");
+            if inst.n_jobs() > 0 {
+                let report = audit(&inst, &out.allocation, mode(enhanced));
+                prop_assert!(
+                    certified(&report, enhanced, weighted),
+                    "incremental state failed audit: {}\ninst: {:?}",
+                    report.summary(), inst
+                );
+            }
+        }
+    }
+
+    /// f64: after every delta the session agrees with a from-scratch solve
+    /// within 1e-6 on each aggregate, stays feasible, and is certified.
+    #[test]
+    fn delta_sequences_agree_within_tolerance_on_f64((caps, ops, enhanced, weighted) in script()) {
+        let m = caps.len();
+        let s = solver(enhanced);
+        let mut session =
+            IncrementalAmf::new(s, caps.iter().map(|&c| c as f64).collect())
+                .expect("valid capacities");
+        for delta in deltas_from_ops(m, &ops, weighted, |v| v as f64) {
+            session.apply(delta).expect("interpreted deltas are valid");
+            let out = session.solve().clone();
+            let inst = session.instance();
+            let reference = s.solve(&inst);
+            for j in 0..inst.n_jobs() {
+                let a = out.allocation.aggregate(j);
+                let b = reference.allocation.aggregate(j);
+                prop_assert!(
+                    (a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs())),
+                    "job {} diverges: incremental {} vs scratch {}", j, a, b
+                );
+            }
+            prop_assert!(out.allocation.is_feasible(&inst), "infeasible state");
+            if inst.n_jobs() > 0 {
+                let report = audit(&inst, &out.allocation, mode(enhanced));
+                prop_assert!(
+                    certified(&report, enhanced, weighted),
+                    "incremental state failed audit: {}\ninst: {:?}",
+                    report.summary(), inst
+                );
+            }
+        }
+    }
+}

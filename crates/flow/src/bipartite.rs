@@ -3,7 +3,7 @@
 use crate::graph::{EdgeId, FlowNetwork, NodeId};
 use crate::scratch::FlowScratch;
 use crate::{dinic, push_relabel};
-use amf_numeric::Scalar;
+use amf_numeric::{max2, min2, Scalar};
 
 /// Which max-flow kernel an [`AllocationNetwork`] runs.
 ///
@@ -53,6 +53,15 @@ pub struct AllocationNetwork<S> {
     /// Per job: `(site, edge)` for every strictly positive demand.
     demand_edges: Vec<Vec<(usize, EdgeId)>>,
     n_demand_edges: usize,
+    /// Node id of each job slot (stable across add/remove; appended jobs
+    /// land after the site nodes, so the id is stored, not computed).
+    job_nodes: Vec<NodeId>,
+    site_nodes: Vec<NodeId>,
+    /// Whether each job slot currently holds a live job. Retired slots keep
+    /// their node and source edge (at capacity zero) and are reused by
+    /// [`add_job`](Self::add_job) before any new node is appended.
+    live: Vec<bool>,
+    free_slots: Vec<usize>,
     backend: FlowBackend,
     scratch: FlowScratch<S>,
 }
@@ -129,6 +138,10 @@ impl<S: Scalar> AllocationNetwork<S> {
             site_cap_edges,
             demand_edges,
             n_demand_edges,
+            job_nodes: (0..n_jobs).map(job_node).collect(),
+            site_nodes: (0..n_sites).map(site_node).collect(),
+            live: vec![true; n_jobs],
+            free_slots: Vec::new(),
             backend,
             scratch,
         }
@@ -319,7 +332,7 @@ impl<S: Scalar> AllocationNetwork<S> {
             &mut self.scratch.stack,
         );
         out.clear();
-        out.extend((0..self.n_jobs).map(|j| self.scratch.seen[2 + j]));
+        out.extend(self.job_nodes.iter().map(|&v| self.scratch.seen[v]));
     }
 
     /// After a max flow: for each job, whether its node still has a residual
@@ -345,9 +358,269 @@ impl<S: Scalar> AllocationNetwork<S> {
             &mut self.scratch.stack,
         );
         jobs.clear();
-        jobs.extend((0..self.n_jobs).map(|j| self.scratch.seen[2 + j]));
+        jobs.extend(self.job_nodes.iter().map(|&v| self.scratch.seen[v]));
         sites.clear();
-        sites.extend((0..self.n_sites).map(|s| self.scratch.seen[2 + self.n_jobs + s]));
+        sites.extend(self.site_nodes.iter().map(|&v| self.scratch.seen[v]));
+    }
+
+    // ----- In-place mutation & residual-flow repair (incremental sessions) -----
+    //
+    // These keep the warm flow alive across instance changes: instead of
+    // rebuilding the network (and rerunning max flow from zero), excess flow
+    // is *drained* — cancelled edge-locally along source→job→site→sink
+    // triples, which preserves conservation at every intermediate state —
+    // and the next `run_max_flow` only augments the difference.
+
+    /// Whether slot `j` currently holds a live job.
+    pub fn is_live(&self, j: usize) -> bool {
+        self.live[j]
+    }
+
+    /// Add a job with the given demand row and a zero source cap, reusing a
+    /// retired slot when one exists (its node and source edge come back into
+    /// service; fresh demand edges are appended for the new row). Returns
+    /// the slot index, which is stable for the job's whole lifetime.
+    ///
+    /// # Panics
+    /// Panics on a ragged or negative demand row.
+    pub fn add_job(&mut self, demands: &[S]) -> usize {
+        assert_eq!(
+            demands.len(),
+            self.n_sites,
+            "demand row length != site count"
+        );
+        for (s, d) in demands.iter().enumerate() {
+            assert!(!(*d < S::ZERO), "negative demand at site {s}");
+        }
+        let j = if let Some(slot) = self.free_slots.pop() {
+            slot
+        } else {
+            let node = self.net.add_node();
+            self.job_nodes.push(node);
+            let cap_edge = self.net.add_edge(self.source, node, S::ZERO);
+            self.job_cap_edges.push(cap_edge);
+            self.demand_edges.push(Vec::new());
+            self.live.push(false);
+            self.n_jobs += 1;
+            self.n_jobs - 1
+        };
+        debug_assert!(!self.live[j]);
+        debug_assert!(self.demand_edges[j].is_empty());
+        let node = self.job_nodes[j];
+        for (s, &d) in demands.iter().enumerate() {
+            if d.is_positive() {
+                let e = self.net.add_edge(node, self.site_nodes[s], d);
+                self.demand_edges[j].push((s, e));
+                self.n_demand_edges += 1;
+            }
+        }
+        self.live[j] = true;
+        j
+    }
+
+    /// Remove job `j`: cancel all its flow (demand edges, its source edge
+    /// and the matching site-edge shares), zero its capacities, and retire
+    /// the slot for reuse. Other jobs' flow is untouched — removing a job
+    /// only frees capacity, so the remaining flow stays feasible.
+    ///
+    /// # Panics
+    /// Panics if the slot is not live.
+    pub fn remove_job(&mut self, j: usize) {
+        assert!(self.live[j], "remove_job: slot {j} is not live");
+        let row = std::mem::take(&mut self.demand_edges[j]);
+        for &(s, e) in &row {
+            // Drain strictly positive flow, not merely `is_positive` flow:
+            // the retired edge's capacity drops to exactly zero below, so
+            // even sub-epsilon floating-point residue must be cancelled.
+            let v = self.net.flow(e);
+            if v > S::ZERO {
+                self.net.remove_flow(e, v);
+                self.net.remove_flow(self.site_cap_edges[s], v);
+            }
+            if self.net.capacity(e).is_positive() {
+                self.n_demand_edges -= 1;
+            }
+            self.net.set_capacity(e, S::ZERO);
+        }
+        // The retired edges stay in the graph at capacity zero; the cleared
+        // row guarantees split/iteration code never sees them again.
+        let cap_edge = self.job_cap_edges[j];
+        let jf = self.net.flow(cap_edge);
+        if jf > S::ZERO {
+            self.net.remove_flow(cap_edge, jf);
+        }
+        self.net.set_capacity(cap_edge, S::ZERO);
+        self.live[j] = false;
+        self.free_slots.push(j);
+    }
+
+    /// Change site `s`'s capacity in place. Lowering it below the site's
+    /// committed flow first drains the excess back across incident demand
+    /// edges (and the owning jobs' source edges), so the surviving flow is
+    /// feasible for the new capacity before the edge shrinks.
+    pub fn set_site_capacity(&mut self, s: usize, capacity: S) {
+        assert!(!(capacity < S::ZERO), "negative capacity c[{s}]");
+        let edge = self.site_cap_edges[s];
+        let mut excess = self.net.flow(edge) - capacity;
+        if excess.is_positive() {
+            'drain: for j in 0..self.n_jobs {
+                for k in 0..self.demand_edges[j].len() {
+                    let (site, e) = self.demand_edges[j][k];
+                    if site != s {
+                        continue;
+                    }
+                    let v = self.net.flow(e);
+                    if v.is_positive() {
+                        let r = min2(v, excess);
+                        self.net.remove_flow(e, r);
+                        self.net.remove_flow(self.job_cap_edges[j], r);
+                        self.net.remove_flow(edge, r);
+                        excess -= r;
+                        if !excess.is_positive() {
+                            break 'drain;
+                        }
+                    }
+                }
+            }
+        }
+        // Widen by any floating-point hair the drain left behind (exact
+        // scalars drain to the capacity precisely) — same clamp idiom as the
+        // solver's warm-start target safety net.
+        let f = self.net.flow(edge);
+        self.net.set_capacity(edge, max2(capacity, f));
+    }
+
+    /// Current capacity of site `s`'s edge to the sink.
+    pub fn site_capacity(&self, s: usize) -> S {
+        self.net.capacity(self.site_cap_edges[s])
+    }
+
+    /// Change job `j`'s demand at site `s` in place. Lowering below the
+    /// edge's current flow drains the excess first; raising a demand that
+    /// was previously zero appends a fresh edge.
+    pub fn set_demand(&mut self, j: usize, s: usize, demand: S) {
+        assert!(self.live[j], "set_demand: slot {j} is not live");
+        assert!(!(demand < S::ZERO), "negative demand d[{j}][{s}]");
+        let mut found = None;
+        for k in 0..self.demand_edges[j].len() {
+            if self.demand_edges[j][k].0 == s {
+                found = Some(self.demand_edges[j][k].1);
+                break;
+            }
+        }
+        match found {
+            Some(e) => {
+                let had = self.net.capacity(e).is_positive();
+                let excess = self.net.flow(e) - demand;
+                if excess.is_positive() {
+                    self.net.remove_flow(e, excess);
+                    self.net.remove_flow(self.job_cap_edges[j], excess);
+                    self.net.remove_flow(self.site_cap_edges[s], excess);
+                }
+                let f = self.net.flow(e);
+                self.net.set_capacity(e, max2(demand, f));
+                match (had, self.net.capacity(e).is_positive()) {
+                    (false, true) => self.n_demand_edges += 1,
+                    (true, false) => self.n_demand_edges -= 1,
+                    _ => {}
+                }
+            }
+            None => {
+                if demand.is_positive() {
+                    let e = self
+                        .net
+                        .add_edge(self.job_nodes[j], self.site_nodes[s], demand);
+                    self.demand_edges[j].push((s, e));
+                    self.n_demand_edges += 1;
+                }
+            }
+        }
+    }
+
+    /// Drain job `j`'s flow down to at most `cap`, then set its source cap
+    /// to `cap` (widened by any floating-point hair the drain left). This is
+    /// the incremental session's warm repair: when a job's water-level
+    /// target shrinks, only the excess above the new target is cancelled and
+    /// the rest of the warm flow survives — no global
+    /// [`reset_flow`](Self::reset_flow).
+    pub fn drain_job_to_cap(&mut self, j: usize, cap: S) {
+        assert!(!(cap < S::ZERO), "negative job cap u[{j}]");
+        let cap_edge = self.job_cap_edges[j];
+        let mut excess = self.net.flow(cap_edge) - cap;
+        if excess.is_positive() {
+            for k in 0..self.demand_edges[j].len() {
+                let (s, e) = self.demand_edges[j][k];
+                let v = self.net.flow(e);
+                if v.is_positive() {
+                    let r = min2(v, excess);
+                    self.net.remove_flow(e, r);
+                    self.net.remove_flow(self.site_cap_edges[s], r);
+                    self.net.remove_flow(cap_edge, r);
+                    excess -= r;
+                    if !excess.is_positive() {
+                        break;
+                    }
+                }
+            }
+        }
+        let f = self.net.flow(cap_edge);
+        self.net.set_capacity(cap_edge, max2(cap, f));
+    }
+
+    /// Overwrite job `j`'s split with `row` (one entry per site): the old
+    /// flow is fully drained, the source cap becomes the row's total, and
+    /// each positive entry is re-pushed as flow, clamped against the demand
+    /// edge's and the site edge's residuals so the network stays feasible
+    /// even when `row` carries floating-point hair. This is the incremental
+    /// session's write-back after it delegates a suffix solve to the
+    /// from-scratch solver: the warm flow is re-seeded with the committed
+    /// allocation so the next delta's repair starts from it.
+    ///
+    /// # Panics
+    /// Panics if the slot is not live or `row` has the wrong length.
+    pub fn set_job_split(&mut self, j: usize, row: &[S]) {
+        assert!(self.live[j], "set_job_split: slot {j} is not live");
+        assert_eq!(row.len(), self.n_sites, "set_job_split: row length");
+        let cap_edge = self.job_cap_edges[j];
+        // Strictly positive drains (not eps-tolerant): the row is rebuilt
+        // from an exactly-zero base so exact scalars stay exact.
+        for k in 0..self.demand_edges[j].len() {
+            let (s, e) = self.demand_edges[j][k];
+            let v = self.net.flow(e);
+            if v > S::ZERO {
+                self.net.remove_flow(e, v);
+                self.net.remove_flow(self.site_cap_edges[s], v);
+            }
+        }
+        let jf = self.net.flow(cap_edge);
+        if jf > S::ZERO {
+            self.net.remove_flow(cap_edge, jf);
+        }
+        let mut total = S::ZERO;
+        for v in row {
+            total += *v;
+        }
+        self.net.set_capacity(cap_edge, total);
+        for k in 0..self.demand_edges[j].len() {
+            let (s, e) = self.demand_edges[j][k];
+            let want = row[s];
+            if !want.is_positive() {
+                continue;
+            }
+            let room = min2(
+                self.net.residual(cap_edge),
+                min2(
+                    self.net.residual(e),
+                    self.net.residual(self.site_cap_edges[s]),
+                ),
+            );
+            let amt = min2(want, room);
+            if amt.is_positive() {
+                self.net.add_flow(e, amt);
+                self.net.add_flow(cap_edge, amt);
+                self.net.add_flow(self.site_cap_edges[s], amt);
+            }
+        }
     }
 
     /// Residual capacity of site `s`'s edge to the sink.
@@ -550,6 +823,157 @@ mod tests {
         x[0][0] = 0.5;
         net.preload_split(&x);
         assert_eq!(net.resolve_auto(), FlowBackend::Dinic);
+    }
+
+    /// Conservation at every non-terminal node (drain repair must keep it).
+    fn assert_conserved(net: &AllocationNetwork<f64>) {
+        for v in 2..net.network().node_count() {
+            let out = net.network().net_outflow(v);
+            assert!(out.abs() < 1e-9, "conservation violated at node {v}: {out}");
+        }
+    }
+
+    #[test]
+    fn remove_job_drains_and_frees_slot() {
+        let demands = vec![vec![4.0, 0.0], vec![4.0, 4.0]];
+        let mut net = AllocationNetwork::new(&demands, &[6.0, 6.0]);
+        net.set_job_cap(0, 4.0);
+        net.set_job_cap(1, 8.0);
+        assert!((net.run_max_flow() - 10.0).abs() < 1e-12);
+        net.remove_job(0);
+        assert!(!net.is_live(0));
+        assert_conserved(&net);
+        assert_eq!(net.job_flow(0), 0.0);
+        // Job 1 keeps its warm flow and can now grow into freed capacity.
+        assert!(net.job_flow(1) > 0.0);
+        let total = net.run_max_flow();
+        assert!((total - 8.0).abs() < 1e-12, "got {total}");
+        // The freed slot is reused by the next add_job.
+        let slot = net.add_job(&[1.0, 1.0]);
+        assert_eq!(slot, 0);
+        assert!(net.is_live(0));
+        net.set_job_cap(0, 2.0);
+        let total = net.run_max_flow();
+        assert!((total - 10.0).abs() < 1e-12, "got {total}");
+        assert_conserved(&net);
+    }
+
+    #[test]
+    fn add_job_appends_node_when_no_free_slot() {
+        let demands = vec![vec![2.0]];
+        let mut net = AllocationNetwork::new(&demands, &[10.0]);
+        net.set_job_cap(0, 2.0);
+        net.run_max_flow();
+        let j = net.add_job(&[5.0]);
+        assert_eq!(j, 1);
+        assert_eq!(net.n_jobs(), 2);
+        net.set_job_cap(j, 5.0);
+        let total = net.run_max_flow();
+        assert!((total - 7.0).abs() < 1e-12);
+        // Reachability buffers must track the appended node id: both jobs
+        // are fully satisfied (demand edges saturated), so neither grows,
+        // and the vector covers the appended slot.
+        let grow = net.jobs_with_residual_to_sink();
+        assert_eq!(grow, vec![false, false]);
+        net.set_demand(j, 0, 9.0);
+        let grow = net.jobs_with_residual_to_sink();
+        assert_eq!(grow, vec![false, true], "raised demand reopens growth");
+    }
+
+    #[test]
+    fn shrink_site_capacity_drains_excess() {
+        let demands = vec![vec![6.0], vec![6.0]];
+        let mut net = AllocationNetwork::new(&demands, &[12.0]);
+        net.set_job_cap(0, 6.0);
+        net.set_job_cap(1, 6.0);
+        assert!((net.run_max_flow() - 12.0).abs() < 1e-12);
+        net.set_site_capacity(0, 5.0);
+        assert_conserved(&net);
+        assert!((net.site_capacity(0) - 5.0).abs() < 1e-9);
+        let total = net.total_flow();
+        assert!(total <= 5.0 + 1e-9, "drained flow {total} exceeds new cap");
+        // Remaining flow is still a valid warm start.
+        assert!((net.run_max_flow() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grow_site_capacity_keeps_flow() {
+        let demands = vec![vec![8.0]];
+        let mut net = AllocationNetwork::new(&demands, &[4.0]);
+        net.set_job_cap(0, 8.0);
+        assert!((net.run_max_flow() - 4.0).abs() < 1e-12);
+        net.set_site_capacity(0, 8.0);
+        assert_eq!(net.total_flow(), 4.0, "raising capacity keeps warm flow");
+        assert!((net.run_max_flow() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_demand_lowers_and_raises_in_place() {
+        let demands = vec![vec![4.0, 0.0]];
+        let mut net = AllocationNetwork::new(&demands, &[10.0, 10.0]);
+        net.set_job_cap(0, 4.0);
+        assert!((net.run_max_flow() - 4.0).abs() < 1e-12);
+        assert_eq!(net.demand_edge_count(), 1);
+        // Lowering below committed flow drains the edge.
+        net.set_demand(0, 0, 1.0);
+        assert_conserved(&net);
+        assert!(net.job_flow(0) <= 1.0 + 1e-12);
+        // A previously-zero demand gets a fresh edge.
+        net.set_demand(0, 1, 3.0);
+        assert_eq!(net.demand_edge_count(), 2);
+        let total = net.run_max_flow();
+        assert!((total - 4.0).abs() < 1e-12, "got {total}");
+        // Lowering to zero retires the edge from the density count.
+        net.set_demand(0, 1, 0.0);
+        assert_conserved(&net);
+        assert_eq!(net.demand_edge_count(), 1);
+        assert!(net.job_flow(0) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn drain_job_to_cap_is_partial_reset() {
+        let demands = vec![vec![3.0, 3.0], vec![3.0, 3.0]];
+        let mut net = AllocationNetwork::new(&demands, &[4.0, 4.0]);
+        net.set_job_cap(0, 6.0);
+        net.set_job_cap(1, 2.0);
+        assert!((net.run_max_flow() - 8.0).abs() < 1e-12);
+        net.drain_job_to_cap(0, 4.0);
+        assert_conserved(&net);
+        assert!((net.job_flow(0) - 4.0).abs() < 1e-9);
+        assert!((net.job_cap(0) - 4.0).abs() < 1e-9);
+        assert!(
+            (net.job_flow(1) - 2.0).abs() < 1e-12,
+            "job 1 flow untouched"
+        );
+        // Raising the other cap and augmenting recovers a max flow.
+        net.set_job_cap(1, 4.0);
+        assert!((net.run_max_flow() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rational_mutations_are_exact() {
+        let demands = vec![vec![r(6)], vec![r(6)]];
+        let mut net = AllocationNetwork::new(&demands, &[r(6)]);
+        net.set_job_cap(0, r(3));
+        net.set_job_cap(1, r(3));
+        assert_eq!(net.run_max_flow(), r(6));
+        net.set_site_capacity(0, r(4));
+        assert_eq!(net.total_flow(), r(4), "exact drain to the new capacity");
+        assert_eq!(net.site_capacity(0), r(4));
+        net.remove_job(1);
+        assert_eq!(net.total_flow(), net.job_flow(0));
+        assert_eq!(net.run_max_flow(), r(3), "freed capacity reabsorbed");
+        net.drain_job_to_cap(0, Rational::new(3, 2));
+        assert_eq!(net.job_flow(0), Rational::new(3, 2));
+        assert_eq!(net.job_cap(0), Rational::new(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn removing_retired_slot_panics() {
+        let mut net = AllocationNetwork::new(&[vec![1.0]], &[1.0]);
+        net.remove_job(0);
+        net.remove_job(0);
     }
 
     #[test]

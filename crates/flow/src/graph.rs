@@ -134,6 +134,25 @@ impl<S: Scalar> FlowNetwork<S> {
         self.edges[r].flow -= amount;
     }
 
+    /// Cancel `amount` of flow on edge `e` (and restore it on `e ^ 1`) —
+    /// the inverse of [`add_flow`](Self::add_flow), used by the
+    /// incremental repair paths to drain excess flow off an arc whose
+    /// capacity is about to shrink (or whose endpoint is being retired)
+    /// while keeping conservation intact at both endpoints.
+    ///
+    /// # Panics
+    /// Panics if `amount` exceeds the flow currently on `e` beyond
+    /// tolerance (draining must never drive a forward flow negative).
+    pub fn remove_flow(&mut self, e: EdgeId, amount: S) {
+        assert!(
+            !amount.definitely_gt(self.edges[e].flow),
+            "remove_flow: amount exceeds current flow"
+        );
+        self.edges[e].flow -= amount;
+        let r = e ^ 1;
+        self.edges[r].flow += amount;
+    }
+
     /// Iterate the edge ids leaving `v` (forward and residual).
     pub fn edges_from(&self, v: NodeId) -> &[EdgeId] {
         &self.adj[v]

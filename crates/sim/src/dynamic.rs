@@ -8,9 +8,43 @@
 //! starves large jobs, bracketing the fair policies from the other side
 //! than equal division does.
 
-use crate::split::balanced_progress_split;
-use amf_core::{Allocation, AllocationPolicy, Instance};
+use crate::split::{balanced_progress_split, SplitStrategy};
+use amf_core::{
+    Allocation, AllocationPolicy, AmfSolver, Delta, IncrementalAmf, Instance, SolveStats,
+};
 use amf_numeric::KahanSum;
+use std::collections::BTreeMap;
+
+/// The active set at a reallocation instant, as seen by an
+/// [`IncrementalSession`]. Rows (and `ids` entries) are in the order the
+/// rate matrix must come back in; `ids` are the engine's stable job ids
+/// (the same values fed through [`Delta::AddJob`]).
+pub struct SessionCtx<'a> {
+    /// Stable id of each active job.
+    pub ids: &'a [u64],
+    /// Current site capacities.
+    pub capacities: &'a [f64],
+    /// Demand caps of the active jobs.
+    pub demands: &'a [Vec<f64>],
+    /// Remaining work of the active jobs.
+    pub remaining: &'a [Vec<f64>],
+}
+
+/// A live solver session fed typed [`Delta`]s by the event loop instead
+/// of fresh [`Instance`]s — created via
+/// [`DynamicPolicy::incremental_session`].
+pub trait IncrementalSession {
+    /// Feed one delta. The engine only emits internally consistent
+    /// streams, so implementations may treat rejection as a bug.
+    fn apply(&mut self, delta: &Delta<f64>);
+
+    /// The rate matrix for the current active set, rows aligned with
+    /// `ctx.ids`.
+    fn rates(&mut self, ctx: &SessionCtx<'_>) -> Vec<Vec<f64>>;
+
+    /// Cumulative solver statistics (rounds replayed vs. re-solved).
+    fn stats(&self) -> SolveStats;
+}
 
 /// A policy that may use the jobs' remaining work per site.
 pub trait DynamicPolicy: Send + Sync {
@@ -20,6 +54,18 @@ pub trait DynamicPolicy: Send + Sync {
     /// Produce a feasible allocation for the current instant.
     /// `remaining[j][s]` is job `j`'s outstanding work at site `s`.
     fn allocate_dynamic(&self, inst: &Instance<f64>, remaining: &[Vec<f64>]) -> Allocation<f64>;
+
+    /// Open an incremental session over sites with the given capacities,
+    /// if this policy supports delta-driven re-solve. The default is
+    /// `None`: the engine falls back to [`allocate_dynamic`]
+    /// (from-scratch) — so work-aware policies like
+    /// [`SrptPerSite`] need no changes.
+    ///
+    /// [`allocate_dynamic`]: Self::allocate_dynamic
+    fn incremental_session(&self, capacities: &[f64]) -> Option<Box<dyn IncrementalSession>> {
+        let _ = capacities;
+        None
+    }
 }
 
 /// Every static policy is trivially dynamic (it ignores the work).
@@ -103,6 +149,140 @@ impl DynamicPolicy for AmfBalanced {
             self.repair_rounds,
         );
         Allocation::from_split(split)
+    }
+
+    fn incremental_session(&self, capacities: &[f64]) -> Option<Box<dyn IncrementalSession>> {
+        Some(Box::new(AmfSession {
+            session: IncrementalAmf::new(AmfSolver::new(), capacities.to_vec())
+                .expect("engine capacities are validated"),
+            split: SplitStrategy::BalancedProgress {
+                repair_rounds: self.repair_rounds,
+            },
+        }))
+    }
+}
+
+/// Delta-driven AMF: a [`DynamicPolicy`] whose
+/// [`incremental_session`](DynamicPolicy::incremental_session) wraps a
+/// persistent [`IncrementalAmf`] — the event loop feeds it deltas and
+/// cached freeze rounds are replayed instead of re-solved (see
+/// [`simulate_incremental`](crate::simulate_incremental)). The
+/// from-scratch fallback ([`allocate_dynamic`](DynamicPolicy::allocate_dynamic))
+/// applies the identical split strategy, so both paths produce the same
+/// rate matrices.
+#[derive(Debug, Clone, Copy)]
+pub struct AmfIncremental {
+    solver: AmfSolver,
+    split: SplitStrategy,
+}
+
+impl AmfIncremental {
+    /// Incremental AMF with the solver's own split.
+    pub fn new(solver: AmfSolver) -> Self {
+        AmfIncremental {
+            solver,
+            split: SplitStrategy::PolicySplit,
+        }
+    }
+
+    /// Incremental AMF with an explicit [`SplitStrategy`] (use
+    /// `BalancedProgress` for the JCT add-on).
+    pub fn with_split(solver: AmfSolver, split: SplitStrategy) -> Self {
+        AmfIncremental { solver, split }
+    }
+
+    /// The wrapped solver configuration.
+    pub fn solver(&self) -> AmfSolver {
+        self.solver
+    }
+}
+
+impl DynamicPolicy for AmfIncremental {
+    fn name(&self) -> &'static str {
+        "amf-incremental"
+    }
+
+    fn allocate_dynamic(&self, inst: &Instance<f64>, remaining: &[Vec<f64>]) -> Allocation<f64> {
+        let alloc = self.solver.solve(inst).allocation;
+        match self.split {
+            SplitStrategy::PolicySplit => alloc,
+            SplitStrategy::BalancedProgress { repair_rounds } => {
+                Allocation::from_split(balanced_progress_split(
+                    inst.capacities(),
+                    inst.demands(),
+                    alloc.aggregates(),
+                    remaining,
+                    repair_rounds,
+                ))
+            }
+        }
+    }
+
+    fn incremental_session(&self, capacities: &[f64]) -> Option<Box<dyn IncrementalSession>> {
+        Some(Box::new(AmfSession {
+            session: IncrementalAmf::new(self.solver, capacities.to_vec())
+                .expect("engine capacities are validated"),
+            split: self.split,
+        }))
+    }
+}
+
+/// The [`IncrementalSession`] behind [`AmfIncremental`] and
+/// [`AmfBalanced`]: an [`IncrementalAmf`] plus the id↔slot bookkeeping
+/// that maps the session's dense output rows back to the engine's
+/// active-set order.
+struct AmfSession {
+    session: IncrementalAmf<f64>,
+    split: SplitStrategy,
+}
+
+impl IncrementalSession for AmfSession {
+    fn apply(&mut self, delta: &Delta<f64>) {
+        self.session
+            .apply(delta.clone())
+            .expect("engine delta streams are consistent");
+    }
+
+    fn rates(&mut self, ctx: &SessionCtx<'_>) -> Vec<Vec<f64>> {
+        self.session.solve();
+        let out = self.session.last_output();
+        let dense: BTreeMap<u64, usize> = self
+            .session
+            .job_ids()
+            .iter()
+            .enumerate()
+            .map(|(row, id)| (id.0, row))
+            .collect();
+        debug_assert_eq!(
+            dense.len(),
+            ctx.ids.len(),
+            "session/engine active sets differ"
+        );
+        match self.split {
+            SplitStrategy::PolicySplit => ctx
+                .ids
+                .iter()
+                .map(|id| out.allocation.split()[dense[id]].clone())
+                .collect(),
+            SplitStrategy::BalancedProgress { repair_rounds } => {
+                let aggregates: Vec<f64> = ctx
+                    .ids
+                    .iter()
+                    .map(|id| out.allocation.aggregates()[dense[id]])
+                    .collect();
+                balanced_progress_split(
+                    ctx.capacities,
+                    ctx.demands,
+                    &aggregates,
+                    ctx.remaining,
+                    repair_rounds,
+                )
+            }
+        }
+    }
+
+    fn stats(&self) -> SolveStats {
+        self.session.session_stats()
     }
 }
 

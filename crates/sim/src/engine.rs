@@ -1,8 +1,9 @@
 //! The fluid discrete-event engine.
 
+use crate::dynamic::SessionCtx;
 use crate::report::{JobOutcome, SimReport};
 use crate::split::{balanced_progress_split, SplitStrategy};
-use amf_core::{AllocationPolicy, Instance};
+use amf_core::{AllocationPolicy, Delta, Instance, JobId, SolveStats, SolverPool};
 use amf_workload::trace::Trace;
 
 /// Work below this absolute threshold counts as finished (the trace
@@ -98,24 +99,138 @@ pub fn simulate_with_capacity_events(
     events: &[CapacityEvent],
 ) -> SimReport {
     let split = config.split;
+    // One pool for the whole event loop: solver-backed policies reuse the
+    // flow arena and round buffers across every reallocation.
+    let mut pool = SolverPool::new();
     run_engine(
         trace,
         events,
         config.reallocation_quantum,
-        &|inst, remaining| {
-            let alloc = policy.allocate(inst);
+        &mut |ctx: &RateCtx<'_>| {
+            let inst = ctx.instance();
+            let alloc = policy.allocate_with_pool(&inst, &mut pool);
             match split {
                 SplitStrategy::PolicySplit => alloc.split().to_vec(),
                 SplitStrategy::BalancedProgress { repair_rounds } => balanced_progress_split(
                     inst.capacities(),
                     inst.demands(),
                     alloc.aggregates(),
-                    remaining,
+                    ctx.remaining,
                     repair_rounds,
                 ),
             }
         },
     )
+}
+
+/// Per-run counters from the incremental event loop — how much cached
+/// solver state each reallocation reused (see
+/// [`simulate_incremental_with_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventLoopStats {
+    /// Whether an incremental session actually drove the run (`false`
+    /// means the policy fell back to from-scratch solves).
+    pub incremental: bool,
+    /// Policy invocations (same meaning as [`SimReport::reallocations`]).
+    pub reallocations: usize,
+    /// Freeze rounds replayed from the session's cached round log.
+    pub rounds_replayed: usize,
+    /// Freeze rounds re-solved by Dinkelbach descent.
+    pub rounds_resolved: usize,
+    /// Total Dinkelbach iterations across the run.
+    pub dinkelbach_iterations: usize,
+    /// Total max-flow computations across the run.
+    pub max_flows: usize,
+}
+
+impl EventLoopStats {
+    fn from_session(report: &SimReport, stats: SolveStats) -> Self {
+        EventLoopStats {
+            incremental: true,
+            reallocations: report.reallocations,
+            rounds_replayed: stats.rounds_replayed,
+            rounds_resolved: stats.rounds_resolved,
+            dinkelbach_iterations: stats.dinkelbach_iterations,
+            max_flows: stats.max_flows,
+        }
+    }
+}
+
+/// [`simulate`] driven by the policy's incremental session: instead of
+/// rebuilding an [`Instance`] per scheduling event, the engine feeds the
+/// session typed [`Delta`]s (arrivals, portion completions, departures,
+/// capacity events) and the session repairs its warm solver state
+/// ([`IncrementalAmf`](amf_core::IncrementalAmf) under the hood for
+/// [`AmfIncremental`](crate::AmfIncremental)).
+///
+/// Policies without a session (the default
+/// [`DynamicPolicy::incremental_session`](crate::dynamic::DynamicPolicy::incremental_session)
+/// returns `None`, e.g. [`SrptPerSite`](crate::SrptPerSite)) fall back to
+/// from-scratch `allocate_dynamic` — same report, no speedup.
+///
+/// # Panics
+/// Panics on malformed traces or events (same contract as [`simulate`]).
+pub fn simulate_incremental(
+    trace: &Trace,
+    policy: &dyn crate::dynamic::DynamicPolicy,
+    config: &SimConfig,
+    events: &[CapacityEvent],
+) -> SimReport {
+    simulate_incremental_with_stats(trace, policy, config, events).0
+}
+
+/// [`simulate_incremental`] returning the [`EventLoopStats`] alongside the
+/// report (rounds replayed vs. re-solved, from the session's cumulative
+/// [`SolveStats`]).
+pub fn simulate_incremental_with_stats(
+    trace: &Trace,
+    policy: &dyn crate::dynamic::DynamicPolicy,
+    config: &SimConfig,
+    events: &[CapacityEvent],
+) -> (SimReport, EventLoopStats) {
+    match policy.incremental_session(&trace.capacities) {
+        Some(mut session) => {
+            let report = run_engine(
+                trace,
+                events,
+                config.reallocation_quantum,
+                &mut |ctx: &RateCtx<'_>| {
+                    for delta in ctx.deltas {
+                        session.apply(delta);
+                    }
+                    session.rates(&SessionCtx {
+                        ids: ctx.ids,
+                        capacities: ctx.capacities,
+                        demands: ctx.demands,
+                        remaining: ctx.remaining,
+                    })
+                },
+            );
+            let stats = session.stats();
+            let loop_stats = EventLoopStats::from_session(&report, stats);
+            (report, loop_stats)
+        }
+        None => {
+            let report = run_engine(
+                trace,
+                events,
+                config.reallocation_quantum,
+                &mut |ctx: &RateCtx<'_>| {
+                    let inst = ctx.instance();
+                    policy
+                        .allocate_dynamic(&inst, ctx.remaining)
+                        .split()
+                        .to_vec()
+                },
+            );
+            let loop_stats = EventLoopStats {
+                incremental: false,
+                reallocations: report.reallocations,
+                ..EventLoopStats::default()
+            };
+            (report, loop_stats)
+        }
+    }
 }
 
 /// Simulate many traces in parallel, one policy instance per worker
@@ -185,17 +300,48 @@ where
 /// own split is used as the rate matrix (dynamic policies choose their
 /// splits deliberately).
 pub fn simulate_dynamic(trace: &Trace, policy: &dyn crate::dynamic::DynamicPolicy) -> SimReport {
-    run_engine(trace, &[], None, &|inst, remaining| {
-        policy.allocate_dynamic(inst, remaining).split().to_vec()
+    run_engine(trace, &[], None, &mut |ctx: &RateCtx<'_>| {
+        let inst = ctx.instance();
+        policy
+            .allocate_dynamic(&inst, ctx.remaining)
+            .split()
+            .to_vec()
     })
 }
 
-/// Rate callback: `(instance, remaining_work) -> rate matrix`.
-type RateFn<'a> = &'a dyn Fn(&Instance<f64>, &[Vec<f64>]) -> Vec<Vec<f64>>;
+/// Everything a rate source may need at a reallocation instant. Rows of
+/// `demands`/`remaining` (and entries of `ids`) are in active-set order —
+/// the order rate-matrix rows must come back in.
+struct RateCtx<'a> {
+    /// Current site capacities (after any capacity events).
+    capacities: &'a [f64],
+    /// Demand caps of the active jobs.
+    demands: &'a [Vec<f64>],
+    /// Remaining work of the active jobs.
+    remaining: &'a [Vec<f64>],
+    /// Stable id of each active job (its trace index).
+    ids: &'a [u64],
+    /// Typed deltas since the previous reallocation, in event order —
+    /// exactly the mutations turning the previous instance into this one.
+    deltas: &'a [Delta<f64>],
+}
 
-/// The shared fluid event loop. `rate_fn(instance, remaining_work)` returns
-/// the rate matrix for the current instant; `capacity_events` inject site
-/// capacity changes.
+impl RateCtx<'_> {
+    /// The active set as a dense [`Instance`] (from-scratch paths).
+    fn instance(&self) -> Instance<f64> {
+        Instance::new(self.capacities.to_vec(), self.demands.to_vec())
+            .expect("active jobs always form a valid instance")
+    }
+}
+
+/// Rate callback: the context for this instant → rate matrix.
+type RateFn<'a> = &'a mut dyn FnMut(&RateCtx<'_>) -> Vec<Vec<f64>>;
+
+/// The shared fluid event loop. `rate_fn(ctx)` returns the rate matrix for
+/// the current instant; `capacity_events` inject site capacity changes.
+/// The engine narrates every change to the active set as a [`Delta`]
+/// stream so incremental rate sources can repair state instead of
+/// resolving from scratch.
 fn run_engine(
     trace: &Trace,
     capacity_events: &[CapacityEvent],
@@ -266,12 +412,19 @@ fn run_engine(
     let mut cached_rates: std::collections::BTreeMap<usize, Vec<f64>> =
         std::collections::BTreeMap::new();
     let mut next_round = 0.0f64;
+    // Typed narration of active-set changes since the last reallocation,
+    // consumed (and cleared) at each rate_fn call.
+    let mut deltas: Vec<Delta<f64>> = Vec::new();
 
     loop {
         // Apply capacity events that are due.
         while next_event < events.len() && events[next_event].time <= t {
             let ev = events[next_event];
             capacities[ev.site] = ev.capacity;
+            deltas.push(Delta::CapacityChange {
+                site: ev.site,
+                capacity: ev.capacity,
+            });
             next_event += 1;
         }
 
@@ -294,6 +447,11 @@ fn run_engine(
                 // A zero-work job completes instantly on arrival.
                 outcomes[idx].completion = Some(t.max(job.arrival));
             } else {
+                deltas.push(Delta::AddJob {
+                    id: JobId(idx as u64),
+                    demands: aj.demand.clone(),
+                    weight: 1.0,
+                });
                 active.push(aj);
             }
             next_arrival += 1;
@@ -320,20 +478,24 @@ fn run_engine(
             Some(_) => t + 1e-12 >= next_round,
         };
         let rates: Vec<Vec<f64>> = if recompute {
-            let inst = Instance::new(
-                capacities.clone(),
-                active.iter().map(|a| a.demand.clone()).collect(),
-            )
-            .expect("active jobs always form a valid instance");
+            let demands: Vec<Vec<f64>> = active.iter().map(|a| a.demand.clone()).collect();
             let remaining: Vec<Vec<f64>> = active.iter().map(|a| a.remaining.clone()).collect();
-            let fresh = rate_fn(&inst, &remaining);
+            let ids: Vec<u64> = active.iter().map(|a| a.idx as u64).collect();
+            let ctx = RateCtx {
+                capacities: &capacities,
+                demands: &demands,
+                remaining: &remaining,
+                ids: &ids,
+                deltas: &deltas,
+            };
+            let fresh = rate_fn(&ctx);
             debug_assert_eq!(fresh.len(), active.len(), "rate matrix row count");
             #[cfg(feature = "audit")]
             {
                 // Rates are resource allocations of the active instance:
                 // every reallocation must stay within demands + capacities.
                 let cert = amf_audit::feasibility_cert(
-                    &inst,
+                    &ctx.instance(),
                     &amf_core::Allocation::from_split(fresh.clone()),
                 );
                 if let Some(violations) = cert.counterexample() {
@@ -343,6 +505,7 @@ fn run_engine(
                     );
                 }
             }
+            deltas.clear();
             reallocations += 1;
             if let Some(q) = quantum {
                 next_round = t + q;
@@ -413,6 +576,11 @@ fn run_engine(
                     if a.remaining[s] <= WORK_EPS {
                         a.remaining[s] = 0.0;
                         a.demand[s] = 0.0;
+                        deltas.push(Delta::DemandChange {
+                            id: JobId(a.idx as u64),
+                            site: s,
+                            demand: 0.0,
+                        });
                     }
                 }
             }
@@ -424,6 +592,9 @@ fn run_engine(
             if active[k].finished() {
                 outcomes[active[k].idx].completion = Some(t);
                 makespan = makespan.max(t);
+                deltas.push(Delta::RemoveJob {
+                    id: JobId(active[k].idx as u64),
+                });
                 active.swap_remove(k);
             } else {
                 k += 1;
@@ -893,5 +1064,145 @@ mod tests {
         let report = simulate(&trace, &AmfSolver::new(), &SimConfig::default());
         assert_eq!(report.jobs.len(), 0);
         assert_eq!(report.makespan, 0.0);
+    }
+
+    /// Two contention tiers (a tight site 0, a roomy site 1) with
+    /// staggered arrivals and a mid-run capacity dip — busy enough that
+    /// the session's round log gets real replay opportunities.
+    fn online_trace() -> (Trace, Vec<CapacityEvent>) {
+        let mk = |arrival: f64, work: Vec<f64>, demand: Vec<f64>| TraceJob {
+            arrival,
+            work,
+            demand,
+        };
+        let trace = Trace {
+            capacities: vec![2.0, 50.0],
+            jobs: vec![
+                mk(0.0, vec![40.0, 0.0], vec![2.0, 0.0]),
+                mk(0.0, vec![40.0, 0.0], vec![2.0, 0.0]),
+                mk(0.0, vec![0.0, 300.0], vec![0.0, 40.0]),
+                mk(1.0, vec![0.0, 200.0], vec![0.0, 40.0]),
+                mk(2.5, vec![0.0, 150.0], vec![0.0, 30.0]),
+                mk(4.0, vec![10.0, 90.0], vec![1.0, 20.0]),
+            ],
+        };
+        let events = vec![
+            CapacityEvent {
+                time: 3.0,
+                site: 1,
+                capacity: 30.0,
+            },
+            CapacityEvent {
+                time: 6.0,
+                site: 1,
+                capacity: 50.0,
+            },
+        ];
+        (trace, events)
+    }
+
+    #[test]
+    fn incremental_engine_matches_from_scratch() {
+        let (trace, events) = online_trace();
+        let config = SimConfig::default();
+        let base = simulate_with_capacity_events(&trace, &AmfSolver::new(), &config, &events);
+        let (inc, stats) = simulate_incremental_with_stats(
+            &trace,
+            &crate::AmfIncremental::new(AmfSolver::new()),
+            &config,
+            &events,
+        );
+        assert!(stats.incremental);
+        assert_eq!(inc.reallocations, base.reallocations);
+        assert!(base.all_finished() && inc.all_finished());
+        for (a, b) in inc.jobs.iter().zip(&base.jobs) {
+            let (x, y) = (a.completion.unwrap(), b.completion.unwrap());
+            assert!((x - y).abs() < 1e-6, "completion {x} vs {y}");
+        }
+        assert!((inc.makespan - base.makespan).abs() < 1e-6);
+        assert!(
+            stats.rounds_replayed > 0,
+            "the event loop must reuse cached rounds: {stats:?}"
+        );
+        assert!(stats.rounds_resolved > 0);
+    }
+
+    #[test]
+    fn incremental_engine_matches_under_quantized_rounds() {
+        let (trace, events) = online_trace();
+        let config = SimConfig {
+            reallocation_quantum: Some(0.75),
+            ..SimConfig::default()
+        };
+        let base = simulate_with_capacity_events(&trace, &AmfSolver::new(), &config, &events);
+        let inc = simulate_incremental(
+            &trace,
+            &crate::AmfIncremental::new(AmfSolver::new()),
+            &config,
+            &events,
+        );
+        assert_eq!(inc.reallocations, base.reallocations);
+        for (a, b) in inc.jobs.iter().zip(&base.jobs) {
+            assert!((a.completion.unwrap() - b.completion.unwrap()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn incremental_balanced_split_matches_dynamic_policy() {
+        let (trace, _) = online_trace();
+        let base = simulate_dynamic(&trace, &crate::AmfBalanced::new());
+        let (inc, stats) = simulate_incremental_with_stats(
+            &trace,
+            &crate::AmfBalanced::new(),
+            &SimConfig::default(),
+            &[],
+        );
+        assert!(stats.incremental, "AmfBalanced opens a session");
+        for (a, b) in inc.jobs.iter().zip(&base.jobs) {
+            assert!((a.completion.unwrap() - b.completion.unwrap()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn policies_without_sessions_fall_back_to_from_scratch() {
+        let (trace, _) = online_trace();
+        let base = simulate_dynamic(&trace, &crate::SrptPerSite);
+        let (inc, stats) = simulate_incremental_with_stats(
+            &trace,
+            &crate::SrptPerSite,
+            &SimConfig::default(),
+            &[],
+        );
+        assert!(!stats.incremental, "SRPT has no incremental session");
+        assert_eq!(stats.rounds_replayed, 0);
+        assert_eq!(inc.reallocations, base.reallocations);
+        for (a, b) in inc.jobs.iter().zip(&base.jobs) {
+            assert_eq!(a.completion, b.completion, "fallback must be exact");
+        }
+    }
+
+    #[test]
+    fn incremental_handles_total_outage_and_recovery() {
+        let trace = batch_trace(vec![4.0], vec![(vec![4.0], vec![4.0])]);
+        let events = [
+            CapacityEvent {
+                time: 0.5,
+                site: 0,
+                capacity: 0.0,
+            },
+            CapacityEvent {
+                time: 2.0,
+                site: 0,
+                capacity: 4.0,
+            },
+        ];
+        let report = simulate_incremental(
+            &trace,
+            &crate::AmfIncremental::new(AmfSolver::new()),
+            &SimConfig::default(),
+            &events,
+        );
+        assert!(report.all_finished());
+        assert!((report.makespan - 2.5).abs() < 1e-6);
     }
 }

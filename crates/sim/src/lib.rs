@@ -43,10 +43,12 @@ pub mod slots;
 pub mod split;
 pub mod tasks;
 
-pub use dynamic::{AmfBalanced, DynamicPolicy, SrptPerSite};
+pub use dynamic::{
+    AmfBalanced, AmfIncremental, DynamicPolicy, IncrementalSession, SessionCtx, SrptPerSite,
+};
 pub use engine::{
-    simulate, simulate_dynamic, simulate_many, simulate_with_capacity_events, CapacityEvent,
-    SimConfig,
+    simulate, simulate_dynamic, simulate_incremental, simulate_incremental_with_stats,
+    simulate_many, simulate_with_capacity_events, CapacityEvent, EventLoopStats, SimConfig,
 };
 pub use report::{JobOutcome, SimReport};
 pub use split::SplitStrategy;

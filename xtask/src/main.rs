@@ -4,10 +4,10 @@
 //!
 //! * `lint` — the static-analysis gate: rustfmt `--check`, then
 //!   `clippy -D warnings` across the workspace, then a second, stricter
-//!   clippy pass over the numeric-discipline crates (`amf-core`,
-//!   `amf-flow`) with the `clippy.toml` disallowed-methods list promoted to
-//!   hard errors (raw `f64` equality, `partial_cmp().unwrap()`, unwrapping
-//!   flow results).
+//!   clippy pass over the numeric-discipline crates (see
+//!   [`STRICT_CRATES`]) with the `clippy.toml` disallowed-methods list
+//!   promoted to hard errors (raw `f64` equality,
+//!   `partial_cmp().unwrap()`, unwrapping flow results).
 //! * `fmt` — apply rustfmt to the whole workspace.
 //! * `bench` — run the pinned solver benchmark (`bench_solver`, release
 //!   profile) and validate the `BENCH_solver.json` it writes at the
@@ -76,7 +76,13 @@ fn run(label: &str, program: &str, args: &[&str]) -> bool {
 /// Crates under the strict numeric-discipline lint set: the solver and flow
 /// layers, where a raw float comparison or an unwrapped flow result is a
 /// correctness bug, not a style preference.
-const STRICT_CRATES: &[&str] = &["amf-core", "amf-flow", "amf-numeric", "amf-audit"];
+const STRICT_CRATES: &[&str] = &[
+    "amf-core",
+    "amf-flow",
+    "amf-numeric",
+    "amf-audit",
+    "amf-sim",
+];
 
 fn lint() -> ExitCode {
     let mut ok = true;
@@ -131,7 +137,7 @@ fn lint() -> ExitCode {
         "clippy::unwrap-used",
     ]);
     ok &= run(
-        "clippy strict numeric-discipline pass (amf-core, amf-flow, amf-numeric, amf-audit)",
+        "clippy strict numeric-discipline pass (amf-core, amf-flow, amf-numeric, amf-audit, amf-sim)",
         "cargo",
         &strict_args,
     );
@@ -145,15 +151,17 @@ fn lint() -> ExitCode {
 }
 
 /// Keys every `BENCH_solver.json` must contain (schema
-/// `amf-bench-solver/v1`); checked textually so xtask stays
+/// `amf-bench-solver/v2`); checked textually so xtask stays
 /// dependency-free.
 const BENCH_REQUIRED_KEYS: &[&str] = &[
     "\"schema\"",
-    "\"amf-bench-solver/v1\"",
+    "\"amf-bench-solver/v2\"",
     "\"sweep\"",
     "\"e8_400x20\"",
     "\"batch\"",
     "\"kernels\"",
+    "\"event_loop\"",
+    "\"rounds_replayed\"",
 ];
 
 fn bench(smoke: bool) -> ExitCode {
