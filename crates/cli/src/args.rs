@@ -22,6 +22,16 @@ USAGE:
                  # pool.json: {\"capacities\": [9, 18],
                  #             \"jobs\": [{\"demand\": [1, 4],
                  #                       \"max_tasks\": null, \"weight\": 1.0}]}
+    amf serve    [--addr H:P] [--workers N] [--shards K] [--queue-cap Q]
+                 [--no-coalesce] [--scalar f64|rational] [--port-file PATH]
+                 # multi-tenant allocation server; blocks until a client
+                 # sends Shutdown, then prints the drain summary
+    amf client --addr H:P <action>              # one request per invocation
+                 # actions: create --tenant T --capacities 4,2.5 [--mode M]
+                 #          add-job --tenant T --id N --demands 1,2 [--weight W]
+                 #          remove-job --tenant T --id N
+                 #          solve --tenant T | get --tenant T
+                 #          stats | shutdown
     amf --help
 
 POLICIES:
@@ -97,6 +107,81 @@ pub struct AuditParams {
     pub json: bool,
 }
 
+/// Parameters of `amf serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeParams {
+    /// Bind address (default `127.0.0.1:0` — ephemeral port).
+    pub addr: String,
+    /// Worker threads (None = available parallelism).
+    pub workers: Option<usize>,
+    /// Session-table shards (None = server default).
+    pub shards: Option<usize>,
+    /// Admission-queue capacity per shard (None = server default).
+    pub queue_cap: Option<usize>,
+    /// Delta coalescing (disabled by `--no-coalesce`).
+    pub coalesce: bool,
+    /// Session scalar: "f64" (default) or "rational".
+    pub scalar: String,
+    /// Write the bound address to this file once listening (for scripts
+    /// that need to discover the ephemeral port).
+    pub port_file: Option<String>,
+}
+
+/// One `amf client` action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// `create --tenant T --capacities 4,2.5 [--mode plain|enhanced]`.
+    Create {
+        /// Target tenant.
+        tenant: String,
+        /// Per-site capacities.
+        capacities: Vec<f64>,
+        /// Fairness mode (None = server default).
+        mode: Option<String>,
+    },
+    /// `add-job --tenant T --id N --demands 1,2 [--weight W]`.
+    AddJob {
+        /// Target tenant.
+        tenant: String,
+        /// Job id.
+        id: u64,
+        /// Per-site demands.
+        demands: Vec<f64>,
+        /// Weight (None = 1).
+        weight: Option<f64>,
+    },
+    /// `remove-job --tenant T --id N`.
+    RemoveJob {
+        /// Target tenant.
+        tenant: String,
+        /// Job id.
+        id: u64,
+    },
+    /// `solve --tenant T`.
+    Solve {
+        /// Target tenant.
+        tenant: String,
+    },
+    /// `get --tenant T`.
+    Get {
+        /// Target tenant.
+        tenant: String,
+    },
+    /// `stats`.
+    Stats,
+    /// `shutdown`.
+    Shutdown,
+}
+
+/// Parameters of `amf client`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientParams {
+    /// Server address.
+    pub addr: String,
+    /// The action to perform.
+    pub action: ClientAction,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -112,6 +197,10 @@ pub enum Command {
     Simulate(SimulateParams),
     /// `amf check`.
     Check,
+    /// `amf serve`.
+    Serve(ServeParams),
+    /// `amf client`.
+    Client(ClientParams),
     /// `amf --help` (or no arguments).
     Help,
 }
@@ -226,8 +315,102 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             }))
         }
         Some("drf") => Ok(Command::Drf),
+        Some("serve") => {
+            let rest = &argv[1..];
+            let scalar = value_of(rest, "--scalar")?.unwrap_or_else(|| "f64".into());
+            if scalar != "f64" && scalar != "rational" {
+                return Err(ParseError(format!(
+                    "unknown scalar: {scalar} (try f64, rational)"
+                )));
+            }
+            Ok(Command::Serve(ServeParams {
+                addr: value_of(rest, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".into()),
+                workers: match value_of(rest, "--workers")? {
+                    Some(v) => Some(parse_num(&v, "--workers")?),
+                    None => None,
+                },
+                shards: match value_of(rest, "--shards")? {
+                    Some(v) => Some(parse_num(&v, "--shards")?),
+                    None => None,
+                },
+                queue_cap: match value_of(rest, "--queue-cap")? {
+                    Some(v) => Some(parse_num(&v, "--queue-cap")?),
+                    None => None,
+                },
+                coalesce: !rest.iter().any(|a| a == "--no-coalesce"),
+                scalar,
+                port_file: value_of(rest, "--port-file")?,
+            }))
+        }
+        Some("client") => {
+            let rest = &argv[1..];
+            let addr = value_of(rest, "--addr")?
+                .ok_or_else(|| ParseError("client: --addr is required".into()))?;
+            // The action is the first non-flag, non-flag-value token.
+            let mut action_name = None;
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i].starts_with("--") {
+                    i += 2; // every client flag takes a value
+                } else {
+                    action_name = Some(rest[i].as_str());
+                    break;
+                }
+            }
+            let tenant = || {
+                value_of(rest, "--tenant")?
+                    .ok_or_else(|| ParseError("client: --tenant is required".into()))
+            };
+            let id = || -> Result<u64, ParseError> {
+                let v = value_of(rest, "--id")?
+                    .ok_or_else(|| ParseError("client: --id is required".into()))?;
+                parse_num(&v, "--id")
+            };
+            let action = match action_name {
+                Some("create") => ClientAction::Create {
+                    tenant: tenant()?,
+                    capacities: parse_f64_list(
+                        &value_of(rest, "--capacities")?
+                            .ok_or_else(|| ParseError("create: --capacities is required".into()))?,
+                        "--capacities",
+                    )?,
+                    mode: value_of(rest, "--mode")?,
+                },
+                Some("add-job") => ClientAction::AddJob {
+                    tenant: tenant()?,
+                    id: id()?,
+                    demands: parse_f64_list(
+                        &value_of(rest, "--demands")?
+                            .ok_or_else(|| ParseError("add-job: --demands is required".into()))?,
+                        "--demands",
+                    )?,
+                    weight: match value_of(rest, "--weight")? {
+                        Some(v) => Some(parse_num(&v, "--weight")?),
+                        None => None,
+                    },
+                },
+                Some("remove-job") => ClientAction::RemoveJob {
+                    tenant: tenant()?,
+                    id: id()?,
+                },
+                Some("solve") => ClientAction::Solve { tenant: tenant()? },
+                Some("get") => ClientAction::Get { tenant: tenant()? },
+                Some("stats") => ClientAction::Stats,
+                Some("shutdown") => ClientAction::Shutdown,
+                Some(other) => return Err(ParseError(format!("unknown client action: {other}"))),
+                None => return Err(ParseError("client: an action is required".into())),
+            };
+            Ok(Command::Client(ClientParams { addr, action }))
+        }
         Some(other) => Err(ParseError(format!("unknown command: {other}"))),
     }
+}
+
+/// Parse a comma-separated list of numbers (`4,2.5`).
+fn parse_f64_list(v: &str, flag: &str) -> Result<Vec<f64>, ParseError> {
+    v.split(',')
+        .map(|part| parse_num(part.trim(), flag))
+        .collect()
 }
 
 #[cfg(test)]
@@ -401,5 +584,185 @@ mod tests {
     #[test]
     fn bad_numbers_rejected() {
         assert!(parse(&sv(&["gen", "--jobs", "x", "--sites", "4"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&sv(&["serve"])).unwrap(),
+            Command::Serve(ServeParams {
+                addr: "127.0.0.1:0".into(),
+                workers: None,
+                shards: None,
+                queue_cap: None,
+                coalesce: true,
+                scalar: "f64".into(),
+                port_file: None,
+            })
+        );
+        assert_eq!(
+            parse(&sv(&[
+                "serve",
+                "--addr",
+                "0.0.0.0:7070",
+                "--workers",
+                "4",
+                "--shards",
+                "2",
+                "--queue-cap",
+                "64",
+                "--no-coalesce",
+                "--scalar",
+                "rational",
+                "--port-file",
+                "/tmp/p",
+            ]))
+            .unwrap(),
+            Command::Serve(ServeParams {
+                addr: "0.0.0.0:7070".into(),
+                workers: Some(4),
+                shards: Some(2),
+                queue_cap: Some(64),
+                coalesce: false,
+                scalar: "rational".into(),
+                port_file: Some("/tmp/p".into()),
+            })
+        );
+        assert!(parse(&sv(&["serve", "--scalar", "decimal"])).is_err());
+        assert!(parse(&sv(&["serve", "--workers", "many"])).is_err());
+    }
+
+    #[test]
+    fn parses_client_actions() {
+        assert_eq!(
+            parse(&sv(&[
+                "client",
+                "--addr",
+                "127.0.0.1:7070",
+                "create",
+                "--tenant",
+                "acme",
+                "--capacities",
+                "4, 2.5",
+                "--mode",
+                "enhanced",
+            ]))
+            .unwrap(),
+            Command::Client(ClientParams {
+                addr: "127.0.0.1:7070".into(),
+                action: ClientAction::Create {
+                    tenant: "acme".into(),
+                    capacities: vec![4.0, 2.5],
+                    mode: Some("enhanced".into()),
+                },
+            })
+        );
+        // Action token may come before or after flags.
+        assert_eq!(
+            parse(&sv(&[
+                "client",
+                "add-job",
+                "--addr",
+                "a:1",
+                "--tenant",
+                "t",
+                "--id",
+                "7",
+                "--demands",
+                "1,2",
+                "--weight",
+                "2",
+            ]))
+            .unwrap(),
+            Command::Client(ClientParams {
+                addr: "a:1".into(),
+                action: ClientAction::AddJob {
+                    tenant: "t".into(),
+                    id: 7,
+                    demands: vec![1.0, 2.0],
+                    weight: Some(2.0),
+                },
+            })
+        );
+        assert_eq!(
+            parse(&sv(&[
+                "client",
+                "--addr",
+                "a:1",
+                "remove-job",
+                "--tenant",
+                "t",
+                "--id",
+                "3"
+            ]))
+            .unwrap(),
+            Command::Client(ClientParams {
+                addr: "a:1".into(),
+                action: ClientAction::RemoveJob {
+                    tenant: "t".into(),
+                    id: 3,
+                },
+            })
+        );
+        for (name, want) in [
+            ("solve", ClientAction::Solve { tenant: "t".into() }),
+            ("get", ClientAction::Get { tenant: "t".into() }),
+        ] {
+            assert_eq!(
+                parse(&sv(&["client", "--addr", "a:1", name, "--tenant", "t"])).unwrap(),
+                Command::Client(ClientParams {
+                    addr: "a:1".into(),
+                    action: want,
+                })
+            );
+        }
+        assert_eq!(
+            parse(&sv(&["client", "--addr", "a:1", "stats"])).unwrap(),
+            Command::Client(ClientParams {
+                addr: "a:1".into(),
+                action: ClientAction::Stats,
+            })
+        );
+        assert_eq!(
+            parse(&sv(&["client", "--addr", "a:1", "shutdown"])).unwrap(),
+            Command::Client(ClientParams {
+                addr: "a:1".into(),
+                action: ClientAction::Shutdown,
+            })
+        );
+    }
+
+    #[test]
+    fn client_rejects_malformed_invocations() {
+        // Missing address, missing action, unknown action.
+        assert!(parse(&sv(&["client", "stats"])).is_err());
+        assert!(parse(&sv(&["client", "--addr", "a:1"])).is_err());
+        assert!(parse(&sv(&["client", "--addr", "a:1", "dance"])).is_err());
+        // Missing per-action required flags.
+        assert!(parse(&sv(&["client", "--addr", "a:1", "create", "--tenant", "t"])).is_err());
+        assert!(parse(&sv(&["client", "--addr", "a:1", "solve"])).is_err());
+        assert!(parse(&sv(&[
+            "client",
+            "--addr",
+            "a:1",
+            "add-job",
+            "--tenant",
+            "t",
+            "--demands",
+            "1"
+        ]))
+        .is_err());
+        // Malformed numeric list.
+        assert!(parse(&sv(&[
+            "client",
+            "--addr",
+            "a:1",
+            "create",
+            "--tenant",
+            "t",
+            "--capacities",
+            "4,,2"
+        ]))
+        .is_err());
     }
 }

@@ -5,7 +5,7 @@ use amf_core::properties::{is_envy_free, is_pareto_efficient, satisfies_sharing_
 use amf_core::{
     AllocationPolicy, AmfSolver, EqualDivision, Instance, PerSiteMaxMin, ProportionalToDemand,
 };
-use amf_metrics::{fmt2, fmt4, percentile, Table};
+use amf_metrics::{fmt2, fmt4, Table};
 use amf_sim::{simulate, SimConfig, SplitStrategy};
 use amf_workload::arrivals::{poisson_arrivals, rate_for_load};
 use amf_workload::trace::Trace;
@@ -230,7 +230,12 @@ pub fn simulate_cmd(p: &SimulateParams, stdin: &str) -> Result<String, String> {
         report.jobs.len()
     ));
     out.push_str(&format!("mean_jct = {}\n", fmt2(report.mean_jct())));
-    out.push_str(&format!("p95_jct = {}\n", fmt2(percentile(&jcts, 95.0))));
+    // Tail estimate from the shared fixed-bucket histogram (the same
+    // estimator the serving layer uses for request latencies).
+    out.push_str(&format!(
+        "p95_jct = {}\n",
+        fmt2(report.jct_summary(64).percentile(95.0))
+    ));
     out.push_str(&format!("makespan = {}\n", fmt2(report.makespan)));
     out.push_str(&format!(
         "mean_utilization = {}\n",
@@ -368,6 +373,160 @@ pub fn drf(stdin: &str) -> Result<String, String> {
     }
     out.push('\n');
     Ok(out)
+}
+
+fn serve_with<S: amf_serve::WireScalar>(
+    cfg: amf_serve::ServeConfig,
+    port_file: Option<&str>,
+) -> Result<String, String> {
+    let server =
+        amf_serve::Server::<S>::bind(cfg).map_err(|e| format!("serve: cannot bind: {e}"))?;
+    let addr = server.addr();
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("serve: cannot write --port-file {path}: {e}"))?;
+    }
+    // Announce readiness on stderr (stdout is reserved for the final
+    // summary so scripted callers can parse it).
+    eprintln!("amf-serve listening on {addr}");
+    let summary = server.join();
+    let mut out = String::new();
+    out.push_str(&format!("served {} request(s)\n", summary.requests));
+    out.push_str(&format!(
+        "sessions = {}, solves = {}, deltas applied/coalesced = {}/{}\n",
+        summary.sessions, summary.solves, summary.deltas_applied, summary.deltas_coalesced
+    ));
+    out.push_str(&format!(
+        "refused: overloaded = {}, protocol errors = {}\n",
+        summary.overloaded, summary.protocol_errors
+    ));
+    for op in &summary.ops {
+        out.push_str(&format!(
+            "{}: count = {}, mean = {:.0}us, p50/p95/p99 = {:.0}/{:.0}/{:.0}us\n",
+            op.op, op.count, op.mean_us, op.p50_us, op.p95_us, op.p99_us
+        ));
+    }
+    Ok(out)
+}
+
+/// `amf serve` — blocks until a client sends `Shutdown`, then returns the
+/// drain summary.
+pub fn serve_cmd(p: &crate::args::ServeParams) -> Result<String, String> {
+    let mut cfg = amf_serve::ServeConfig {
+        addr: p.addr.clone(),
+        coalesce: p.coalesce,
+        ..amf_serve::ServeConfig::default()
+    };
+    if p.workers.is_some() {
+        cfg.workers = p.workers;
+    }
+    if let Some(shards) = p.shards {
+        cfg.shards = shards;
+    }
+    if let Some(cap) = p.queue_cap {
+        cfg.queue_cap = cap;
+    }
+    match p.scalar.as_str() {
+        "rational" => serve_with::<amf_numeric::Rational>(cfg, p.port_file.as_deref()),
+        _ => serve_with::<f64>(cfg, p.port_file.as_deref()),
+    }
+}
+
+fn fmt_solve_reply(reply: &amf_serve::SolveReply) -> String {
+    let mut table = Table::new(
+        if reply.resolved {
+            "allocation (re-solved)"
+        } else {
+            "allocation (cached)"
+        },
+        &["job", "aggregate", "split"],
+    );
+    for (row, id) in reply.job_ids.iter().enumerate() {
+        table.row(vec![
+            id.to_string(),
+            fmt4(reply.aggregates[row]),
+            reply.split[row]
+                .iter()
+                .map(|x| fmt2(*x))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    table.render()
+}
+
+/// `amf client` — one request per invocation.
+pub fn client_cmd(p: &crate::args::ClientParams) -> Result<String, String> {
+    use crate::args::ClientAction;
+    let mut client = amf_serve::ServeClient::connect(&p.addr)
+        .map_err(|e| format!("client: cannot connect to {}: {e}", p.addr))?;
+    let fail = |e: amf_serve::ClientError| e.to_string();
+    match &p.action {
+        ClientAction::Create {
+            tenant,
+            capacities,
+            mode,
+        } => {
+            let sites = client
+                .create_session(tenant, capacities, mode.as_deref())
+                .map_err(fail)?;
+            Ok(format!("created session {tenant:?} with {sites} site(s)\n"))
+        }
+        ClientAction::AddJob {
+            tenant,
+            id,
+            demands,
+            weight,
+        } => {
+            let (accepted, pending) = client
+                .apply_deltas(
+                    tenant,
+                    &[amf_serve::WireDelta::AddJob {
+                        id: *id,
+                        demands: demands.clone(),
+                        weight: *weight,
+                    }],
+                )
+                .map_err(fail)?;
+            Ok(format!("accepted {accepted} delta(s), {pending} pending\n"))
+        }
+        ClientAction::RemoveJob { tenant, id } => {
+            let (accepted, pending) = client
+                .apply_deltas(tenant, &[amf_serve::WireDelta::RemoveJob { id: *id }])
+                .map_err(fail)?;
+            Ok(format!("accepted {accepted} delta(s), {pending} pending\n"))
+        }
+        ClientAction::Solve { tenant } => Ok(fmt_solve_reply(&client.solve(tenant).map_err(fail)?)),
+        ClientAction::Get { tenant } => Ok(fmt_solve_reply(
+            &client.get_allocation(tenant).map_err(fail)?,
+        )),
+        ClientAction::Stats => {
+            let stats = client.stats().map_err(fail)?;
+            let mut out = String::new();
+            out.push_str(&format!(
+                "sessions = {}, queued = {}, requests = {}, solves = {}\n",
+                stats.sessions, stats.queued, stats.requests, stats.solves
+            ));
+            out.push_str(&format!(
+                "deltas applied/coalesced = {}/{}, overloaded = {}, protocol errors = {}\n",
+                stats.deltas_applied,
+                stats.deltas_coalesced,
+                stats.overloaded,
+                stats.protocol_errors
+            ));
+            for op in &stats.ops {
+                out.push_str(&format!(
+                    "{}: count = {}, mean = {:.0}us, p50/p95/p99 = {:.0}/{:.0}/{:.0}us\n",
+                    op.op, op.count, op.mean_us, op.p50_us, op.p95_us, op.p99_us
+                ));
+            }
+            Ok(out)
+        }
+        ClientAction::Shutdown => {
+            client.shutdown().map_err(fail)?;
+            Ok("server is draining\n".to_string())
+        }
+    }
 }
 
 #[cfg(test)]

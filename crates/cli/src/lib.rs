@@ -31,6 +31,8 @@ pub fn run(argv: &[String], stdin: &str) -> Result<String, String> {
         Command::Check => commands::check(stdin),
         Command::Audit(p) => commands::audit_cmd(&p, stdin),
         Command::Drf => commands::drf(stdin),
+        Command::Serve(p) => commands::serve_cmd(&p),
+        Command::Client(p) => commands::client_cmd(&p),
     }
 }
 
@@ -75,6 +77,69 @@ mod tests {
     #[test]
     fn solve_rejects_garbage_input() {
         assert!(run(&sv(&["solve"]), "{nope").is_err());
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() {
+        let port_file =
+            std::env::temp_dir().join(format!("amf-serve-cli-test-{}.addr", std::process::id()));
+        let _ = std::fs::remove_file(&port_file);
+        let pf = port_file.to_string_lossy().to_string();
+        let server = std::thread::spawn({
+            let pf = pf.clone();
+            move || run(&sv(&["serve", "--workers", "1", "--port-file", &pf]), "")
+        });
+        // Wait for the server to publish its ephemeral address.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if s.trim().contains(':') {
+                    break s.trim().to_string();
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote the port file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let client = |args: &[&str]| {
+            let mut argv = vec!["client", "--addr", &addr];
+            argv.extend_from_slice(args);
+            run(&sv(&argv), "")
+        };
+        assert!(client(&["create", "--tenant", "t", "--capacities", "6,4"])
+            .unwrap()
+            .contains("2 site(s)"));
+        assert!(
+            client(&["add-job", "--tenant", "t", "--id", "0", "--demands", "4,1"])
+                .unwrap()
+                .contains("accepted 1 delta(s)")
+        );
+        assert!(client(&[
+            "add-job",
+            "--tenant",
+            "t",
+            "--id",
+            "1",
+            "--demands",
+            "2,3",
+            "--weight",
+            "2"
+        ])
+        .unwrap()
+        .contains("accepted 1 delta(s)"));
+        let solved = client(&["solve", "--tenant", "t"]).unwrap();
+        assert!(solved.contains("re-solved"), "{solved}");
+        assert!(solved.contains("aggregate"), "{solved}");
+        let cached = client(&["get", "--tenant", "t"]).unwrap();
+        assert!(cached.contains("cached"), "{cached}");
+        let stats = client(&["stats"]).unwrap();
+        assert!(stats.contains("sessions = 1"), "{stats}");
+        assert!(client(&["shutdown"]).unwrap().contains("draining"));
+        let summary = server.join().expect("server thread").unwrap();
+        assert!(summary.contains("sessions = 1"), "{summary}");
+        let _ = std::fs::remove_file(&port_file);
     }
 
     #[test]

@@ -137,6 +137,21 @@ pub enum DeltaError {
     },
 }
 
+impl DeltaError {
+    /// Stable machine-readable error code, suitable for protocol error
+    /// frames and log lines (the `Display` text is for humans and may
+    /// change; these strings are a wire contract and must not).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DeltaError::DuplicateJob { .. } => "duplicate_job",
+            DeltaError::UnknownJob { .. } => "unknown_job",
+            DeltaError::SiteOutOfRange { .. } => "site_out_of_range",
+            DeltaError::RaggedDemands { .. } => "ragged_demands",
+            DeltaError::InvalidValue { .. } => "invalid_value",
+        }
+    }
+}
+
 impl std::fmt::Display for DeltaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -939,6 +954,39 @@ mod tests {
         session.apply(add(0, vec![3.0, 3.0])).unwrap();
         let agg = assert_matches_scratch(&mut session);
         assert!((agg[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_errors_are_std_errors_with_stable_kinds() {
+        // The serving layer surfaces these in protocol error frames: the
+        // Display text is human-facing, `kind()` is the wire contract.
+        let errs: [(DeltaError, &str); 5] = [
+            (DeltaError::DuplicateJob { id: JobId(1) }, "duplicate_job"),
+            (DeltaError::UnknownJob { id: JobId(2) }, "unknown_job"),
+            (
+                DeltaError::SiteOutOfRange {
+                    site: 4,
+                    n_sites: 2,
+                },
+                "site_out_of_range",
+            ),
+            (
+                DeltaError::RaggedDemands {
+                    expected: 3,
+                    got: 1,
+                },
+                "ragged_demands",
+            ),
+            (DeltaError::InvalidValue { what: "demand" }, "invalid_value"),
+        ];
+        for (err, kind) in errs {
+            assert_eq!(err.kind(), kind);
+            // Usable as a boxed std error (Display + Error), no Debug
+            // formatting required.
+            let boxed: Box<dyn std::error::Error> = Box::new(err);
+            assert!(!boxed.to_string().is_empty());
+            assert!(!boxed.to_string().contains("DeltaError"));
+        }
     }
 
     #[test]

@@ -1,43 +1,148 @@
-//! Fixed-bin histograms with terminal rendering.
+//! Fixed-bucket, mergeable histograms with percentile estimation and
+//! terminal rendering.
+//!
+//! A [`Histogram`] owns an explicit, immutable edge vector fixed at
+//! construction — equal-width ([`Histogram::new`]), log-spaced
+//! ([`Histogram::exponential`], the right shape for request latencies), or
+//! data-driven ([`Histogram::from_values`]). Because the bucket layout is
+//! part of the value, two histograms with the same layout can be
+//! [`merge`](Histogram::merge)d — the serving layer records latencies into
+//! per-thread histograms and folds them into one report — and percentiles
+//! are estimated by interpolating inside the covering bucket.
 
-/// An equal-width histogram over `[lo, hi)` with under/overflow buckets.
+/// A fixed-bucket histogram over `[edges[0], edges[last])` with
+/// under/overflow buckets, an exact streaming sum (for [`mean`]), and
+/// `O(log bins)` insertion.
+///
+/// [`mean`]: Histogram::mean
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
-    lo: f64,
-    hi: f64,
+    /// Strictly increasing bucket boundaries; bucket `i` is
+    /// `[edges[i], edges[i+1])`.
+    edges: Vec<f64>,
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    /// Exact sum of every observation (including outliers), so the mean is
+    /// not a bucket-midpoint estimate.
+    sum: f64,
 }
 
 impl Histogram {
-    /// A histogram over `[lo, hi)` with `nbins` equal-width bins.
+    /// A histogram over `[lo, hi)` with `nbins` equal-width buckets.
     ///
     /// # Panics
-    /// Panics if `hi <= lo` or `nbins == 0`.
+    /// Panics if `hi <= lo`, `nbins == 0`, or a bound is not finite.
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "Histogram: bad range");
         assert!(hi > lo, "Histogram: empty range");
         assert!(nbins > 0, "Histogram: zero bins");
+        let w = (hi - lo) / nbins as f64;
+        let mut edges: Vec<f64> = (0..nbins).map(|i| lo + i as f64 * w).collect();
+        edges.push(hi);
+        Self::with_edges(edges)
+    }
+
+    /// A histogram over `[lo, hi)` with `nbins` log-spaced buckets —
+    /// constant *relative* resolution, the natural layout for latencies
+    /// spanning microseconds to seconds.
+    ///
+    /// # Panics
+    /// Panics if `lo <= 0`, `hi <= lo`, `nbins == 0`, or a bound is not
+    /// finite.
+    pub fn exponential(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "Histogram: bad range");
+        assert!(lo > 0.0, "Histogram: exponential needs lo > 0");
+        assert!(hi > lo, "Histogram: empty range");
+        assert!(nbins > 0, "Histogram: zero bins");
+        let ratio = (hi / lo).ln() / nbins as f64;
+        let mut edges: Vec<f64> = (0..nbins).map(|i| lo * (ratio * i as f64).exp()).collect();
+        edges.push(hi);
+        Self::with_edges(edges)
+    }
+
+    /// A histogram from explicit bucket edges (strictly increasing, at
+    /// least two).
+    ///
+    /// # Panics
+    /// Panics if fewer than two edges are given or they are not strictly
+    /// increasing and finite.
+    pub fn with_edges(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "Histogram: need at least two edges");
+        for pair in edges.windows(2) {
+            assert!(
+                pair[0].is_finite() && pair[1].is_finite() && pair[0] < pair[1],
+                "Histogram: edges must be finite and strictly increasing"
+            );
+        }
+        let nbins = edges.len() - 1;
         Histogram {
-            lo,
-            hi,
+            edges,
             bins: vec![0; nbins],
             underflow: 0,
             overflow: 0,
+            sum: 0.0,
         }
+    }
+
+    /// An equal-width histogram fitted to `values` (range `[min, max]`,
+    /// right edge nudged so the maximum lands in the last bucket). Useful
+    /// for one-shot summaries like a simulation's completion-time
+    /// distribution. Empty input yields a unit-range empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or a value is not finite.
+    pub fn from_values(values: &[f64], nbins: usize) -> Self {
+        assert!(nbins > 0, "Histogram: zero bins");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            assert!(v.is_finite(), "Histogram: non-finite value");
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if values.is_empty() {
+            return Histogram::new(0.0, 1.0, nbins);
+        }
+        // Open the right edge just past the max so `hi` itself is in range;
+        // degenerate all-equal input still needs a non-empty range.
+        let nudge = ((hi - lo).max(hi.abs()) * 1e-9).max(1e-12);
+        let mut h = Histogram::new(lo, hi + nudge, nbins);
+        h.extend(values.iter().copied());
+        h
     }
 
     /// Add one observation.
     pub fn add(&mut self, v: f64) {
-        if v < self.lo {
+        self.sum += v;
+        if v < self.edges[0] {
             self.underflow += 1;
-        } else if v >= self.hi {
+        } else if v >= *self.edges.last().expect("edges are non-empty") {
             self.overflow += 1;
         } else {
-            let idx = ((v - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
-            let last = self.bins.len() - 1;
-            self.bins[idx.min(last)] += 1;
+            // partition_point returns the first edge > v; bucket index is
+            // one less. v >= edges[0] here, so the index is in range.
+            let idx = self.edges.partition_point(|e| !(*e > v)) - 1;
+            self.bins[idx] += 1;
         }
+    }
+
+    /// Fold another histogram with the **same bucket layout** into this
+    /// one (per-thread recorders merging into a report).
+    ///
+    /// # Panics
+    /// Panics if the bucket edges differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.edges == other.edges,
+            "Histogram::merge: bucket layouts differ"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.sum += other.sum;
     }
 
     /// Total observations, including under/overflow.
@@ -45,9 +150,56 @@ impl Histogram {
         self.bins.iter().sum::<u64>() + self.underflow + self.overflow
     }
 
+    /// Exact arithmetic mean of every observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+
+    /// The `p`-th percentile (`0 <= p <= 100`), estimated by linear
+    /// interpolation inside the covering bucket. Outlier mass is clamped
+    /// to the histogram bounds (an underflow reads as `edges[0]`, an
+    /// overflow as the top edge). Returns 0.0 when empty.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        // Rank in [0, n]: the number of observations at or below the
+        // answer. Walk the cumulative counts to the covering bucket.
+        let rank = p / 100.0 * n as f64;
+        let mut below = self.underflow as f64;
+        if rank <= below {
+            return self.edges[0];
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            let c = c as f64;
+            if rank <= below + c {
+                let (lo, hi) = (self.edges[i], self.edges[i + 1]);
+                let frac = if c > 0.0 { (rank - below) / c } else { 0.0 };
+                return lo + (hi - lo) * frac;
+            }
+            below += c;
+        }
+        *self.edges.last().expect("edges are non-empty")
+    }
+
     /// Per-bin counts (in range only).
     pub fn bins(&self) -> &[u64] {
         &self.bins
+    }
+
+    /// The bucket boundaries (length = bins + 1).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
     }
 
     /// `(underflow, overflow)` counts.
@@ -57,8 +209,7 @@ impl Histogram {
 
     /// The `[start, end)` range of bin `i`.
     pub fn bin_range(&self, i: usize) -> (f64, f64) {
-        let w = (self.hi - self.lo) / self.bins.len() as f64;
-        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+        (self.edges[i], self.edges[i + 1])
     }
 
     /// Render as horizontal ASCII bars, `width` characters at the mode.
@@ -68,7 +219,7 @@ impl Histogram {
         if self.underflow > 0 {
             out.push_str(&format!(
                 "        < {:>8.3} | {}\n",
-                self.lo, self.underflow
+                self.edges[0], self.underflow
             ));
         }
         for (i, &c) in self.bins.iter().enumerate() {
@@ -81,7 +232,11 @@ impl Histogram {
             ));
         }
         if self.overflow > 0 {
-            out.push_str(&format!("       >= {:>8.3} | {}\n", self.hi, self.overflow));
+            out.push_str(&format!(
+                "       >= {:>8.3} | {}\n",
+                self.edges.last().expect("edges are non-empty"),
+                self.overflow
+            ));
         }
         out
     }
@@ -118,6 +273,86 @@ mod tests {
         h.add(1.0); // overflow (exclusive hi)
         assert_eq!(h.bins(), &[1, 1]);
         assert_eq!(h.outliers(), (0, 1));
+    }
+
+    #[test]
+    fn exponential_buckets_are_log_spaced() {
+        let h = Histogram::exponential(1.0, 1000.0, 3);
+        let edges = h.edges();
+        assert_eq!(edges.len(), 4);
+        assert!((edges[0] - 1.0).abs() < 1e-9);
+        assert!((edges[1] - 10.0).abs() < 1e-6);
+        assert!((edges[2] - 100.0).abs() < 1e-4);
+        assert!((edges[3] - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential_fill() {
+        let mut a = Histogram::exponential(1.0, 1e6, 24);
+        let mut b = a.clone();
+        let mut both = a.clone();
+        for v in [2.0, 30.0, 450.0, 0.5, 2e6] {
+            a.add(v);
+            both.add(v);
+        }
+        for v in [7.5, 90.0, 1234.0] {
+            b.add(v);
+            both.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket layouts differ")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.merge(&Histogram::new(0.0, 1.0, 5));
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        // 100 uniform values in [0, 100): percentile ~ identity, within a
+        // bucket width.
+        let mut h = Histogram::new(0.0, 100.0, 50);
+        h.extend((0..100).map(|i| i as f64));
+        for p in [10.0, 25.0, 50.0, 90.0, 99.0] {
+            assert!(
+                (h.percentile(p) - p).abs() <= 2.0,
+                "p{p} estimated as {}",
+                h.percentile(p)
+            );
+        }
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(Histogram::new(0.0, 1.0, 2).percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_outlier_mass() {
+        let mut h = Histogram::new(10.0, 20.0, 2);
+        h.extend([1.0, 1.0, 1.0, 15.0, 99.0]);
+        assert_eq!(h.percentile(1.0), 10.0); // underflow clamps to lo
+        assert_eq!(h.percentile(100.0), 20.0); // overflow clamps to hi
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.extend([1.0, 2.0, 12.0]); // 12 overflows but still counts
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(0.0, 1.0, 1).mean(), 0.0);
+    }
+
+    #[test]
+    fn from_values_covers_the_whole_sample() {
+        let vals = [3.0, 4.5, 9.0, 9.0, 12.0];
+        let h = Histogram::from_values(&vals, 4);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.outliers(), (0, 0));
+        assert!((h.mean() - 7.5).abs() < 1e-12);
+        // Degenerate all-equal and empty inputs still construct.
+        assert_eq!(Histogram::from_values(&[2.0, 2.0], 3).count(), 2);
+        assert_eq!(Histogram::from_values(&[], 3).count(), 0);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //!   min/max share ratio and related balance metrics on allocation vectors;
 //! * [`stats`] — streaming summaries (Welford mean/variance, min/max),
 //!   percentiles and empirical CDFs;
+//! * [`histogram`] — fixed-bucket, mergeable [`Histogram`]s (linear or
+//!   log-spaced buckets) with interpolated percentile estimation; the
+//!   serving layer records per-request latencies into them and the
+//!   simulator summarizes completion-time distributions with them;
 //! * [`table`] — fixed-width text tables and CSV emission, so every
 //!   experiment binary prints paper-style rows without duplicating
 //!   formatting code;

@@ -157,6 +157,10 @@ impl Cdf {
     }
 
     /// `F(x)`: fraction of observations `<= x`.
+    // Exact equality is intended: we step across points whose x coordinate
+    // is *identical* to the probe (duplicates from repeated observations),
+    // not approximately close — a tolerance would merge distinct steps.
+    #[allow(clippy::float_cmp)]
     pub fn at(&self, x: f64) -> f64 {
         match self
             .points

@@ -1,0 +1,204 @@
+//! Length-prefixed frame codec.
+//!
+//! Every protocol message travels as one *frame*: a 4-byte big-endian
+//! length prefix followed by exactly that many bytes of UTF-8 JSON. The
+//! length counts the payload only, and a reader enforces a configurable
+//! ceiling ([`read_frame`]'s `max_len`) so a malicious or corrupted prefix
+//! can never make the server allocate unbounded memory.
+//!
+//! The codec is deliberately dumb: framing errors are typed
+//! ([`FrameError`]), payload-level errors (bad JSON, unknown request)
+//! belong to the [`protocol`](crate::protocol) layer above.
+
+use std::io::{self, Read, Write};
+
+/// Default payload ceiling: 4 MiB — generous for allocation tables of a
+/// few thousand jobs, small enough that a garbage prefix cannot OOM the
+/// server.
+pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
+
+/// Why a frame could not be read. Except for [`FrameError::IdleTimeout`],
+/// the connection is unusable afterwards (framing is stateful: after a bad
+/// prefix there is no resynchronization).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection mid-frame (a clean close *between*
+    /// frames is reported as `Ok(None)`, not an error).
+    Truncated {
+        /// Bytes actually read of the failed section (prefix or payload).
+        got: usize,
+        /// Bytes the section needed.
+        wanted: usize,
+    },
+    /// The length prefix exceeds the reader's ceiling.
+    Oversized {
+        /// Length the prefix announced.
+        len: usize,
+        /// The reader's configured ceiling.
+        max: usize,
+    },
+    /// A read timeout fired with **no** frame in progress. The only
+    /// retryable error: the server's connection loops poll with a read
+    /// timeout so they can observe the shutdown flag between frames.
+    IdleTimeout,
+    /// A read timeout fired mid-frame — the peer stalled after sending a
+    /// partial frame; there is no way to resynchronize.
+    Stalled {
+        /// Bytes actually read of the stalled section (prefix or payload).
+        got: usize,
+        /// Bytes the section needed.
+        wanted: usize,
+    },
+    /// Any other I/O error from the underlying stream.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { got, wanted } => {
+                write!(f, "truncated frame: got {got} of {wanted} bytes")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized frame: length prefix {len} exceeds max {max}")
+            }
+            FrameError::IdleTimeout => write!(f, "read timeout between frames"),
+            FrameError::Stalled { got, wanted } => {
+                write!(f, "peer stalled mid-frame: got {got} of {wanted} bytes")
+            }
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn is_timeout_kind(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Read until `buf` is full, reporting how many bytes made it on EOF.
+fn read_exact_counted(r: &mut impl Read, buf: &mut [u8]) -> Result<(), (usize, io::Error)> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err((
+                    filled,
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err((filled, e)),
+        }
+    }
+    Ok(())
+}
+
+fn section_error(got: usize, wanted: usize, e: io::Error) -> FrameError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        FrameError::Truncated { got, wanted }
+    } else if is_timeout_kind(e.kind()) {
+        FrameError::Stalled { got, wanted }
+    } else {
+        FrameError::Io(e)
+    }
+}
+
+/// Read one frame. `Ok(None)` means the peer closed cleanly between
+/// frames; a close mid-frame is [`FrameError::Truncated`]. A read timeout
+/// before the first prefix byte is [`FrameError::IdleTimeout`] (retryable);
+/// mid-frame it is [`FrameError::Stalled`]. A prefix larger than `max_len`
+/// is rejected *before* any payload allocation.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    if let Err((got, e)) = read_exact_counted(r, &mut prefix) {
+        if got == 0 {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                return Ok(None);
+            }
+            if is_timeout_kind(e.kind()) {
+                return Err(FrameError::IdleTimeout);
+            }
+        }
+        return Err(section_error(got, 4, e));
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_len {
+        return Err(FrameError::Oversized { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    if let Err((got, e)) = read_exact_counted(r, &mut payload) {
+        return Err(section_error(got, len, e));
+    }
+    Ok(Some(payload))
+}
+
+/// Write one frame (length prefix + payload) and flush.
+///
+/// # Panics
+/// Panics if `payload` exceeds `u32::MAX` bytes (the protocol layer caps
+/// frames far below this).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"x\":1}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some(&b"{\"x\":1}"[..])
+        );
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_allocation() {
+        let mut bytes = u32::MAX.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"junk");
+        let err = read_frame(&mut Cursor::new(bytes), 1024).unwrap_err();
+        match err {
+            FrameError::Oversized { len, max } => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        // Cut inside the prefix.
+        let err = read_frame(&mut Cursor::new(vec![0, 0]), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated { got: 2, wanted: 4 }));
+        // Cut inside the payload.
+        let mut bytes = 10u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"abc");
+        let err = read_frame(&mut Cursor::new(bytes), 1024).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated { got: 3, wanted: 10 }));
+    }
+}

@@ -1,5 +1,7 @@
 //! Simulation output: per-job outcomes and system-level statistics.
 
+use amf_metrics::Histogram;
+
 /// Outcome of one job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobOutcome {
@@ -55,6 +57,16 @@ impl SimReport {
     pub fn max_jct(&self) -> f64 {
         self.jcts().into_iter().fold(0.0, f64::max)
     }
+
+    /// Completion-time distribution of finished jobs as a fixed-bucket,
+    /// mergeable [`Histogram`] (data-fitted bins; empty when nothing
+    /// finished). Percentiles come from the shared `amf-metrics`
+    /// estimator — the same code path the serving layer uses for request
+    /// latencies — so JCT tails are reported consistently across the
+    /// simulator and the server.
+    pub fn jct_summary(&self, nbins: usize) -> Histogram {
+        Histogram::from_values(&self.jcts(), nbins)
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +94,10 @@ mod tests {
         assert_eq!(report.jcts(), vec![4.0, 2.0]);
         assert_eq!(report.mean_jct(), 3.0);
         assert_eq!(report.max_jct(), 4.0);
+        let h = report.jct_summary(16);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), 3.0);
+        assert!(h.percentile(100.0) >= 4.0 - 1e-6);
     }
 
     #[test]

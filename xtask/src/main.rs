@@ -9,9 +9,10 @@
 //!   promoted to hard errors (raw `f64` equality,
 //!   `partial_cmp().unwrap()`, unwrapping flow results).
 //! * `fmt` — apply rustfmt to the whole workspace.
-//! * `bench` — run the pinned solver benchmark (`bench_solver`, release
-//!   profile) and validate the `BENCH_solver.json` it writes at the
-//!   workspace root. `--smoke` forwards the bin's quick mode for CI.
+//! * `bench` — run the pinned solver benchmark (`bench_solver`) and the
+//!   serve load generator (`bench_serve`), both release profile, and
+//!   validate the `BENCH_solver.json` / `BENCH_serve.json` they write at
+//!   the workspace root. `--smoke` forwards the bins' quick mode for CI.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -42,7 +43,9 @@ fn usage() {
     eprintln!("usage: cargo xtask <lint|fmt|bench [--smoke]>");
     eprintln!("  lint   run the static-analysis gate (rustfmt --check + clippy -D warnings)");
     eprintln!("  fmt    apply rustfmt to the workspace");
-    eprintln!("  bench  run the pinned solver benchmark and validate BENCH_solver.json");
+    eprintln!(
+        "  bench  run the solver benchmark + serve load generator and validate their reports"
+    );
 }
 
 /// The workspace root: one level above this crate's manifest directory.
@@ -82,6 +85,7 @@ const STRICT_CRATES: &[&str] = &[
     "amf-numeric",
     "amf-audit",
     "amf-sim",
+    "amf-serve",
 ];
 
 fn lint() -> ExitCode {
@@ -137,7 +141,7 @@ fn lint() -> ExitCode {
         "clippy::unwrap-used",
     ]);
     ok &= run(
-        "clippy strict numeric-discipline pass (amf-core, amf-flow, amf-numeric, amf-audit, amf-sim)",
+        "clippy strict numeric-discipline pass (amf-core, amf-flow, amf-numeric, amf-audit, amf-sim, amf-serve)",
         "cargo",
         &strict_args,
     );
@@ -153,7 +157,7 @@ fn lint() -> ExitCode {
 /// Keys every `BENCH_solver.json` must contain (schema
 /// `amf-bench-solver/v2`); checked textually so xtask stays
 /// dependency-free.
-const BENCH_REQUIRED_KEYS: &[&str] = &[
+const BENCH_SOLVER_KEYS: &[&str] = &[
     "\"schema\"",
     "\"amf-bench-solver/v2\"",
     "\"sweep\"",
@@ -164,44 +168,69 @@ const BENCH_REQUIRED_KEYS: &[&str] = &[
     "\"rounds_replayed\"",
 ];
 
-fn bench(smoke: bool) -> ExitCode {
-    let out = workspace_root().join("BENCH_solver.json");
+/// Keys every `BENCH_serve.json` must contain (schema
+/// `amf-bench-serve/v1`).
+const BENCH_SERVE_KEYS: &[&str] = &[
+    "\"schema\"",
+    "\"amf-bench-serve/v1\"",
+    "\"hardware\"",
+    "\"closed_loop\"",
+    "\"open_loop\"",
+    "\"coalescing\"",
+    "\"throughput_rps\"",
+    "\"p50_us\"",
+    "\"p95_us\"",
+    "\"p99_us\"",
+    "\"solves_per_request\"",
+    "\"solve_reduction_factor\"",
+    "\"audit_violations\": 0",
+];
+
+/// Run one benchmark bin and validate the report it writes.
+fn bench_bin(bin: &str, report: &str, required: &[&str], smoke: bool) -> bool {
+    let out = workspace_root().join(report);
     let out_str = out.to_string_lossy().into_owned();
-    let mut args: Vec<&str> = vec![
-        "run",
-        "--release",
-        "-p",
-        "amf-bench",
-        "--bin",
-        "bench_solver",
-        "--",
-    ];
+    let mut args: Vec<&str> = vec!["run", "--release", "-p", "amf-bench", "--bin", bin, "--"];
     if smoke {
         args.push("--smoke");
     }
     args.extend_from_slice(&["--out", &out_str]);
-    if !run("bench_solver (release)", "cargo", &args) {
-        return ExitCode::FAILURE;
+    if !run(&format!("{bin} (release)"), "cargo", &args) {
+        return false;
     }
     let json = match std::fs::read_to_string(&out) {
         Ok(s) if !s.trim().is_empty() => s,
         Ok(_) => {
             eprintln!("xtask: {} is empty", out.display());
-            return ExitCode::FAILURE;
+            return false;
         }
         Err(e) => {
             eprintln!("xtask: benchmark report missing at {}: {e}", out.display());
-            return ExitCode::FAILURE;
+            return false;
         }
     };
-    for key in BENCH_REQUIRED_KEYS {
+    for key in required {
         if !json.contains(key) {
             eprintln!("xtask: {} is malformed: missing {key}", out.display());
-            return ExitCode::FAILURE;
+            return false;
         }
     }
     println!("==> benchmark report validated: {}", out.display());
-    ExitCode::SUCCESS
+    true
+}
+
+fn bench(smoke: bool) -> ExitCode {
+    if bench_bin(
+        "bench_solver",
+        "BENCH_solver.json",
+        BENCH_SOLVER_KEYS,
+        smoke,
+    ) && bench_bin("bench_serve", "BENCH_serve.json", BENCH_SERVE_KEYS, smoke)
+    {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn fmt() -> ExitCode {
