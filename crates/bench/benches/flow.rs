@@ -13,15 +13,19 @@ fn build(jobs: usize, sites: usize, density: f64, seed: u64) -> FlowNetwork<f64>
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g: FlowNetwork<f64> = FlowNetwork::new(2 + jobs + sites);
     for j in 0..jobs {
-        g.add_edge(0, 2 + j, rng.gen_range(1.0..50.0));
+        g.add_edge(0, (2 + j) as u32, rng.gen_range(1.0..50.0));
         for s in 0..sites {
             if rng.gen_bool(density) {
-                g.add_edge(2 + j, 2 + jobs + s, rng.gen_range(1.0..20.0));
+                g.add_edge(
+                    (2 + j) as u32,
+                    (2 + jobs + s) as u32,
+                    rng.gen_range(1.0..20.0),
+                );
             }
         }
     }
     for s in 0..sites {
-        g.add_edge(2 + jobs + s, 1, rng.gen_range(10.0..100.0));
+        g.add_edge((2 + jobs + s) as u32, 1, rng.gen_range(10.0..100.0));
     }
     g
 }

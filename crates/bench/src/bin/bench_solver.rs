@@ -2,15 +2,18 @@
 //!
 //! Measures the shrinking-network solver core against the legacy
 //! full-network path on a fixed instance sweep and writes a machine-readable
-//! report (schema `amf-bench-solver/v2`) with five sections:
+//! report (schema `amf-bench-solver/v3`) with five sections:
 //!
 //! * `sweep` — per-point wall time (min of reps after a warm-up) for the
-//!   four solver arms, with work counters and an audit-agreement verdict;
+//!   four solver arms, with work counters (v3 adds the CSR rebuild and
+//!   bitset-clearing counters) and an audit-agreement verdict;
 //! * `e8_400x20` — the headline point: contracted-with-arenas vs the legacy
 //!   path on the E8 400-job / 20-site instance, plus the speedup against
 //!   the pinned pre-optimization baseline;
 //! * `batch` — `solve_batch_with` thread-scaling sweep;
 //! * `kernels` — raw max-flow kernel micro-timings (Dinic vs push–relabel);
+//!   v3 adds per-run edges visited and the derived ns/edge figure, the
+//!   layout-sensitive number the CSR arena is meant to move;
 //! * `event_loop` — online simulation throughput on a staggered-arrival
 //!   400×20 trace with capacity events: the delta-driven incremental
 //!   session vs per-event from-scratch solves, with replay counters and a
@@ -74,6 +77,8 @@ struct ArmResult {
     active_job_rounds: usize,
     edges_visited: u64,
     scratch_reuse_hits: u64,
+    csr_rebuilds: u64,
+    bitset_words_cleared: u64,
 }
 
 #[derive(Serialize)]
@@ -132,6 +137,16 @@ struct KernelTiming {
     sites: usize,
     ms: f64,
     total_flow: f64,
+    /// Residual-edge inspections in one cold max-flow run (deterministic
+    /// for a fixed instance and kernel).
+    edges_visited: u64,
+    /// `ms` normalized by `edges_visited` — the per-edge traversal cost the
+    /// CSR layout is meant to keep flat as instances grow.
+    ns_per_edge: f64,
+    /// CSR lowerings during the timed reps (0: the cached view is reused).
+    csr_rebuilds: u64,
+    /// Bitset words zeroed across the timed reps (frontier reset cost).
+    bitset_words_cleared: u64,
 }
 
 /// The four solver configurations under measurement.
@@ -185,6 +200,8 @@ fn sweep_point(n: usize, m: usize, reps: usize) -> SweepPoint {
             active_job_rounds: out.stats.active_job_rounds,
             edges_visited: out.stats.edges_visited,
             scratch_reuse_hits: out.stats.scratch_reuse_hits,
+            csr_rebuilds: out.stats.csr_rebuilds,
+            bitset_words_cleared: out.stats.bitset_words_cleared,
         });
         outputs.push(out);
     }
@@ -279,6 +296,9 @@ fn kernel_timings(smoke: bool, reps: usize) -> Vec<KernelTiming> {
         // Warm-up sizes the scratch arena; the timed reps run allocation-free.
         net.reset_flow();
         let mut total_flow = net.run_max_flow();
+        let edges0 = net.scratch().edges_visited();
+        let rebuilds0 = net.scratch().csr_rebuilds();
+        let words0 = net.scratch().bitset_words_cleared();
         let mut best_ms = f64::INFINITY;
         for _ in 0..reps {
             net.reset_flow();
@@ -286,12 +306,23 @@ fn kernel_timings(smoke: bool, reps: usize) -> Vec<KernelTiming> {
             total_flow = net.run_max_flow();
             best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         }
+        // Each rep replays the identical cold run, so per-run work is the
+        // accumulated delta divided by the rep count.
+        let edges_visited = (net.scratch().edges_visited() - edges0) / reps as u64;
         timings.push(KernelTiming {
             kernel,
             jobs: n,
             sites: m,
             ms: best_ms,
             total_flow,
+            edges_visited,
+            ns_per_edge: if edges_visited == 0 {
+                0.0
+            } else {
+                best_ms * 1e6 / edges_visited as f64
+            },
+            csr_rebuilds: net.scratch().csr_rebuilds() - rebuilds0,
+            bitset_words_cleared: (net.scratch().bitset_words_cleared() - words0) / reps as u64,
         });
     }
     timings
@@ -432,7 +463,7 @@ fn main() {
     let event_loop = event_loop_section(smoke, reps);
 
     let report = Report {
-        schema: "amf-bench-solver/v2",
+        schema: "amf-bench-solver/v3",
         smoke,
         reps,
         hardware: Hardware {

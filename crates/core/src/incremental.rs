@@ -673,14 +673,7 @@ impl<S: Scalar> IncrementalAmf<S> {
                 rounds.push(round);
                 new_log.push(entry);
             }
-            stats.dinkelbach_iterations += sub.stats.dinkelbach_iterations;
-            stats.max_flows += sub.stats.max_flows;
-            stats.flow_resets += sub.stats.flow_resets;
-            stats.contractions += sub.stats.contractions;
-            stats.active_job_rounds += sub.stats.active_job_rounds;
-            stats.active_site_rounds += sub.stats.active_site_rounds;
-            stats.edges_visited += sub.stats.edges_visited;
-            stats.scratch_reuse_hits += sub.stats.scratch_reuse_hits;
+            stats.saturating_merge_work(&sub.stats);
 
             // Seed the warm network with the delegated allocation so the
             // next delta's repair (and the final split read below) starts
@@ -849,14 +842,19 @@ impl<S: Scalar> IncrementalAmf<S> {
         }
 
         self.round_log = new_log;
-        self.cumulative.rounds += stats.rounds;
-        self.cumulative.rounds_replayed += stats.rounds_replayed;
-        self.cumulative.rounds_resolved += stats.rounds_resolved;
-        self.cumulative.dinkelbach_iterations += stats.dinkelbach_iterations;
-        self.cumulative.max_flows += stats.max_flows;
-        self.cumulative.flow_resets += stats.flow_resets;
-        self.cumulative.active_job_rounds += stats.active_job_rounds;
-        self.cumulative.active_site_rounds += stats.active_site_rounds;
+        // Saturating throughout: a session accumulates across an unbounded
+        // number of solves, and `edges_visited`/`active_job_rounds` style
+        // work counters are the first to approach their ceilings.
+        self.cumulative.rounds = self.cumulative.rounds.saturating_add(stats.rounds);
+        self.cumulative.rounds_replayed = self
+            .cumulative
+            .rounds_replayed
+            .saturating_add(stats.rounds_replayed);
+        self.cumulative.rounds_resolved = self
+            .cumulative
+            .rounds_resolved
+            .saturating_add(stats.rounds_resolved);
+        self.cumulative.saturating_merge_work(&stats);
         self.output = SolveOutput {
             allocation,
             rounds,

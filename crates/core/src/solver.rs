@@ -95,8 +95,10 @@ pub struct SolveStats {
     pub dinkelbach_iterations: usize,
     /// Total max-flow computations, including any final split extraction.
     pub max_flows: usize,
-    /// Feasibility checks that had to discard the previous flow (always
-    /// equals `max_flows` when warm starts are disabled).
+    /// Feasibility checks that could not keep the previous flow as-is:
+    /// on the contracted path the excess is drained per job (the rest of
+    /// the warm flow survives); with warm starts disabled every check
+    /// discards the flow, so this equals `max_flows`.
     pub flow_resets: usize,
     /// Network contractions performed (0 on the legacy full path).
     pub contractions: usize,
@@ -111,6 +113,14 @@ pub struct SolveStats {
     /// Times a kernel invocation found its scratch arena already sized —
     /// i.e. ran allocation-free.
     pub scratch_reuse_hits: u64,
+    /// CSR adjacency rebuilds performed by the kernels — one per network
+    /// structure actually traversed, however many max flows ran on it
+    /// (from the [`FlowScratch`] counters).
+    pub csr_rebuilds: u64,
+    /// 64-bit words zeroed by frontier-bitset resets in the kernels and
+    /// reachability sweeps — the entire cost of clearing visited sets under
+    /// the word-packed layout (from the [`FlowScratch`] counters).
+    pub bitset_words_cleared: u64,
     /// Freeze rounds an incremental session verified against its cached
     /// round log and replayed without re-solving (always 0 on the
     /// from-scratch paths).
@@ -119,6 +129,37 @@ pub struct SolveStats {
     /// descent after a delta invalidated the cached suffix (always 0 on
     /// the from-scratch paths, where `rounds` counts that work).
     pub rounds_resolved: usize,
+}
+
+impl SolveStats {
+    /// Fold another run's *work* counters into this one — everything except
+    /// the round-log bookkeeping fields (`rounds`, `rounds_replayed`,
+    /// `rounds_resolved`), which callers account for separately. Every add
+    /// saturates: long-lived incremental sessions accumulate these across
+    /// an unbounded number of solves, and a counter pinned at its ceiling
+    /// beats a silently wrapped one.
+    pub fn saturating_merge_work(&mut self, other: &SolveStats) {
+        self.dinkelbach_iterations = self
+            .dinkelbach_iterations
+            .saturating_add(other.dinkelbach_iterations);
+        self.max_flows = self.max_flows.saturating_add(other.max_flows);
+        self.flow_resets = self.flow_resets.saturating_add(other.flow_resets);
+        self.contractions = self.contractions.saturating_add(other.contractions);
+        self.active_job_rounds = self
+            .active_job_rounds
+            .saturating_add(other.active_job_rounds);
+        self.active_site_rounds = self
+            .active_site_rounds
+            .saturating_add(other.active_site_rounds);
+        self.edges_visited = self.edges_visited.saturating_add(other.edges_visited);
+        self.scratch_reuse_hits = self
+            .scratch_reuse_hits
+            .saturating_add(other.scratch_reuse_hits);
+        self.csr_rebuilds = self.csr_rebuilds.saturating_add(other.csr_rebuilds);
+        self.bitset_words_cleared = self
+            .bitset_words_cleared
+            .saturating_add(other.bitset_words_cleared);
+    }
 }
 
 /// Result of an AMF solve: the allocation, the frozen levels, and stats.
@@ -172,6 +213,7 @@ pub struct SolverPool<S> {
     demands_buf: Vec<Vec<S>>,
     split: Vec<Vec<S>>,
     frozen_usage: Vec<S>,
+    rank_buf: Vec<S>,
 }
 
 impl<S: Scalar> SolverPool<S> {
@@ -189,6 +231,7 @@ impl<S: Scalar> SolverPool<S> {
             demands_buf: Vec::new(),
             split: Vec::new(),
             frozen_usage: Vec::new(),
+            rank_buf: Vec::new(),
         }
     }
 
@@ -429,6 +472,7 @@ impl AmfSolver {
             demands_buf,
             split,
             frozen_usage,
+            rank_buf,
         } = pool;
 
         let caps = self.build_caps(inst);
@@ -465,6 +509,8 @@ impl AmfSolver {
         let arena = std::mem::take(scratch);
         let edges0 = arena.edges_visited();
         let reuse0 = arena.reuse_hits();
+        let csr0 = arena.csr_rebuilds();
+        let words0 = arena.bitset_words_cleared();
         demands_buf.resize(act_jobs.len(), Vec::new());
         for (i, &j) in act_jobs.iter().enumerate() {
             let row = &mut demands_buf[i];
@@ -538,7 +584,8 @@ impl AmfSolver {
                     residual_budget_agrees(inst, &act_sites, &cur_caps, split),
                     "incrementally maintained site budgets drifted from c_s - committed"
                 );
-                let mut budget = contracted_rank(inst, &act_jobs, &act_sites, &cur_caps, side);
+                let mut budget =
+                    contracted_rank(inst, &act_jobs, &act_sites, &cur_caps, side, rank_buf);
                 for (i, &inside) in side.iter().enumerate() {
                     if inside {
                         budget += base[i];
@@ -731,6 +778,8 @@ impl AmfSolver {
         *scratch = net.take_scratch();
         stats.edges_visited = scratch.edges_visited() - edges0;
         stats.scratch_reuse_hits = scratch.reuse_hits() - reuse0;
+        stats.csr_rebuilds = scratch.csr_rebuilds() - csr0;
+        stats.bitset_words_cleared = scratch.bitset_words_cleared() - words0;
 
         let allocation = Allocation::from_split(std::mem::take(split));
         debug_assert!(
@@ -778,26 +827,34 @@ impl AmfSolver {
                 .enumerate()
                 .map(|(i, &j)| max2(caps[j].at(t) - base[i], S::ZERO)),
         );
-        let keep_flow = self.warm_start
-            && us
-                .iter()
-                .enumerate()
-                .all(|(i, &u)| !u.definitely_lt(net.job_flow(i)));
-        if !keep_flow {
+        let mut target = S::ZERO;
+        if self.warm_start {
+            // Per-job repair instead of a global reset: a cap that dropped
+            // below the job's warm flow drains only its own excess
+            // (edge-local cancellation keeps conservation), everything else
+            // keeps its flow with the cap clamped up by any f64 hair.
+            // The subsequent max flow augments the surviving warm flow, so
+            // Dinkelbach descent never recomputes from zero.
+            let mut repaired = false;
+            for (i, &u) in us.iter().enumerate() {
+                if u.definitely_lt(net.job_flow(i)) {
+                    net.drain_job_to_cap(i, u);
+                    repaired = true;
+                } else {
+                    net.set_job_cap(i, max2(u, net.job_flow(i)));
+                }
+                target += u;
+            }
+            if repaired {
+                stats.flow_resets += 1;
+            }
+        } else {
             net.reset_flow();
             stats.flow_resets += 1;
-        }
-        let mut target = S::ZERO;
-        for (i, &u) in us.iter().enumerate() {
-            // With f64 a kept flow may exceed the new cap by <= eps; clamp
-            // the cap up so the invariant `flow <= cap` holds exactly.
-            let u_safe = if keep_flow {
-                max2(u, net.job_flow(i))
-            } else {
-                u
-            };
-            net.set_job_cap(i, u_safe);
-            target += u;
+            for (i, &u) in us.iter().enumerate() {
+                net.set_job_cap(i, u);
+                target += u;
+            }
         }
         let flow = net.run_max_flow();
         (flow, target)
@@ -843,6 +900,8 @@ impl AmfSolver {
         let arena = std::mem::take(scratch);
         let edges0 = arena.edges_visited();
         let reuse0 = arena.reuse_hits();
+        let csr0 = arena.csr_rebuilds();
+        let words0 = arena.bitset_words_cleared();
         let mut net = AllocationNetwork::new_with_scratch(
             inst.demands(),
             inst.capacities(),
@@ -980,6 +1039,8 @@ impl AmfSolver {
         *scratch = net.take_scratch();
         stats.edges_visited = scratch.edges_visited() - edges0;
         stats.scratch_reuse_hits = scratch.reuse_hits() - reuse0;
+        stats.csr_rebuilds = scratch.csr_rebuilds() - csr0;
+        stats.bitset_words_cleared = scratch.bitset_words_cleared() - words0;
         let allocation = Allocation::from_split(std::mem::take(split));
         // Self-audit in debug builds: the flow network guarantees these by
         // construction, so a failure here means the network itself is bad.
@@ -1070,15 +1131,23 @@ fn contracted_rank<S: Scalar>(
     act_sites: &[usize],
     cur_caps: &[S],
     side: &[bool],
+    demand_sums: &mut Vec<S>,
 ) -> S {
-    let mut total = S::ZERO;
-    for (k, &s) in act_sites.iter().enumerate() {
-        let mut demand = S::ZERO;
-        for (i, &j) in act_jobs.iter().enumerate() {
-            if side[i] {
-                demand += inst.demand(j, s);
+    // Accumulate per-site demand over the violating set only, walking each
+    // job's demand row once (row-major, cache-friendly). Jobs are added in
+    // ascending active index, the same per-site order a site-outer scan
+    // would use, so the f64 sums are bitwise identical to the naive form.
+    demand_sums.clear();
+    demand_sums.resize(act_sites.len(), S::ZERO);
+    for (i, &j) in act_jobs.iter().enumerate() {
+        if side[i] {
+            for (k, &s) in act_sites.iter().enumerate() {
+                demand_sums[k] += inst.demand(j, s);
             }
         }
+    }
+    let mut total = S::ZERO;
+    for (k, &demand) in demand_sums.iter().enumerate() {
         total += min2(cur_caps[k], demand);
     }
     total

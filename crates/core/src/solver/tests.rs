@@ -407,3 +407,31 @@ fn contracted_f64_matches_rational_on_random_instances() {
         assert!(out_f.allocation.is_feasible(&inst_f));
     }
 }
+
+#[test]
+fn saturating_merge_work_pins_counters_at_max() {
+    let mut total = SolveStats {
+        edges_visited: u64::MAX - 5,
+        active_job_rounds: usize::MAX - 1,
+        max_flows: 3,
+        ..SolveStats::default()
+    };
+    let step = SolveStats {
+        edges_visited: 10,
+        active_job_rounds: 7,
+        max_flows: 2,
+        csr_rebuilds: 4,
+        bitset_words_cleared: 1_000,
+        ..SolveStats::default()
+    };
+    total.saturating_merge_work(&step);
+    assert_eq!(total.edges_visited, u64::MAX, "must clamp, not wrap");
+    assert_eq!(total.active_job_rounds, usize::MAX);
+    assert_eq!(total.max_flows, 5, "unsaturated counters still add");
+    assert_eq!(total.csr_rebuilds, 4);
+    assert_eq!(total.bitset_words_cleared, 1_000);
+    // Merging again keeps saturated fields pinned.
+    total.saturating_merge_work(&step);
+    assert_eq!(total.edges_visited, u64::MAX);
+    assert_eq!(total.max_flows, 7);
+}

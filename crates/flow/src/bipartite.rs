@@ -26,6 +26,21 @@ pub enum FlowBackend {
     Auto,
 }
 
+/// Recycled [`AllocationNetwork`] side structures (edge-id maps, liveness
+/// flags), stashed in the [`FlowScratch`] by
+/// [`AllocationNetwork::take_scratch`] so the solver's per-contraction
+/// rebuild reuses every vector instead of reallocating them.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AllocSpares {
+    pub(crate) job_cap_edges: Vec<EdgeId>,
+    pub(crate) site_cap_edges: Vec<EdgeId>,
+    pub(crate) demand_edges: Vec<Vec<(usize, EdgeId)>>,
+    pub(crate) job_nodes: Vec<NodeId>,
+    pub(crate) site_nodes: Vec<NodeId>,
+    pub(crate) live: Vec<bool>,
+    pub(crate) free_slots: Vec<usize>,
+}
+
 /// Bipartite allocation network
 /// `source --(u_j)--> job_j --(d[j][s])--> site_s --(c_s)--> sink`.
 ///
@@ -97,19 +112,36 @@ impl<S: Scalar> AllocationNetwork<S> {
         for row in demands {
             assert_eq!(row.len(), n_sites, "demand row length != site count");
         }
-        let mut net: FlowNetwork<S> = FlowNetwork::new(2 + n_jobs + n_sites);
-        let source = 0;
-        let sink = 1;
-        let job_node = |j: usize| 2 + j;
-        let site_node = |s: usize| 2 + n_jobs + s;
+        let mut scratch = scratch;
+        // Recycle a retired network's edge arena and side-structure
+        // vectors when the scratch carries them (the solver's contraction
+        // loop does), so rebuilds allocate nothing in steady state.
+        let mut net: FlowNetwork<S> = FlowNetwork::new_reusing(2 + n_jobs + n_sites, &mut scratch);
+        let AllocSpares {
+            mut job_cap_edges,
+            mut site_cap_edges,
+            mut demand_edges,
+            mut job_nodes,
+            mut site_nodes,
+            mut live,
+            mut free_slots,
+        } = std::mem::take(&mut scratch.alloc_spares);
+        let source: NodeId = 0;
+        let sink: NodeId = 1;
+        let job_node = |j: usize| (2 + j) as NodeId;
+        let site_node = |s: usize| (2 + n_jobs + s) as NodeId;
 
-        let job_cap_edges = (0..n_jobs)
-            .map(|j| net.add_edge(source, job_node(j), S::ZERO))
-            .collect();
-        let mut demand_edges = Vec::with_capacity(n_jobs);
+        job_cap_edges.clear();
+        job_cap_edges.extend((0..n_jobs).map(|j| net.add_edge(source, job_node(j), S::ZERO)));
+        // Rows beyond the new job count are dropped (networks only shrink
+        // across contractions); kept rows reuse their allocations and are
+        // cleared before filling.
+        demand_edges.truncate(n_jobs);
+        demand_edges.resize(n_jobs, Vec::new());
         let mut n_demand_edges = 0;
         for (j, row) in demands.iter().enumerate() {
-            let mut edges = Vec::new();
+            let edges = &mut demand_edges[j];
+            edges.clear();
             for (s, &d) in row.iter().enumerate() {
                 assert!(!(d < S::ZERO), "negative demand d[{j}][{s}]");
                 if d.is_positive() {
@@ -117,16 +149,19 @@ impl<S: Scalar> AllocationNetwork<S> {
                 }
             }
             n_demand_edges += edges.len();
-            demand_edges.push(edges);
         }
-        let site_cap_edges = capacities
-            .iter()
-            .enumerate()
-            .map(|(s, &c)| {
-                assert!(!(c < S::ZERO), "negative capacity c[{s}]");
-                net.add_edge(site_node(s), sink, c)
-            })
-            .collect();
+        site_cap_edges.clear();
+        site_cap_edges.extend(capacities.iter().enumerate().map(|(s, &c)| {
+            assert!(!(c < S::ZERO), "negative capacity c[{s}]");
+            net.add_edge(site_node(s), sink, c)
+        }));
+        job_nodes.clear();
+        job_nodes.extend((0..n_jobs).map(job_node));
+        site_nodes.clear();
+        site_nodes.extend((0..n_sites).map(site_node));
+        live.clear();
+        live.resize(n_jobs, true);
+        free_slots.clear();
 
         AllocationNetwork {
             net,
@@ -138,10 +173,10 @@ impl<S: Scalar> AllocationNetwork<S> {
             site_cap_edges,
             demand_edges,
             n_demand_edges,
-            job_nodes: (0..n_jobs).map(job_node).collect(),
-            site_nodes: (0..n_sites).map(site_node).collect(),
-            live: vec![true; n_jobs],
-            free_slots: Vec::new(),
+            job_nodes,
+            site_nodes,
+            live,
+            free_slots,
             backend,
             scratch,
         }
@@ -159,8 +194,22 @@ impl<S: Scalar> AllocationNetwork<S> {
     }
 
     /// Move the scratch arena out (leaving an empty one behind), so a
-    /// successor network can inherit its buffers and counters.
+    /// successor network can inherit its buffers and counters. The
+    /// retiring network's edge arena is salvaged into the scratch on the
+    /// way out (this network must not be used again), letting
+    /// [`new_with_scratch`](Self::new_with_scratch) rebuild without
+    /// allocating.
     pub fn take_scratch(&mut self) -> FlowScratch<S> {
+        self.net.salvage_into(&mut self.scratch);
+        self.scratch.alloc_spares = AllocSpares {
+            job_cap_edges: std::mem::take(&mut self.job_cap_edges),
+            site_cap_edges: std::mem::take(&mut self.site_cap_edges),
+            demand_edges: std::mem::take(&mut self.demand_edges),
+            job_nodes: std::mem::take(&mut self.job_nodes),
+            site_nodes: std::mem::take(&mut self.site_nodes),
+            live: std::mem::take(&mut self.live),
+            free_slots: std::mem::take(&mut self.free_slots),
+        };
         std::mem::take(&mut self.scratch)
     }
 
@@ -242,8 +291,17 @@ impl<S: Scalar> AllocationNetwork<S> {
     }
 
     /// Total flow currently leaving the source.
+    ///
+    /// Summed over the job source edges in slot order — the same order the
+    /// old adjacency-list `net_outflow(source)` used (no edge enters the
+    /// source), so `f64` totals are bitwise identical — and O(jobs)
+    /// instead of O(E).
     pub fn total_flow(&self) -> S {
-        self.net.net_outflow(self.source)
+        let mut total = S::ZERO;
+        for &e in &self.job_cap_edges {
+            total += self.net.flow(e);
+        }
+        total
     }
 
     /// Aggregate flow (allocation) currently assigned to job `j`.
@@ -326,13 +384,14 @@ impl<S: Scalar> AllocationNetwork<S> {
     /// [`source_side_jobs`](Self::source_side_jobs) into a caller-provided
     /// buffer (resized to `n_jobs`); allocation-free on the hot path.
     pub fn source_side_jobs_into(&mut self, out: &mut Vec<bool>) {
-        self.net.residual_reachable_into(
-            self.source,
-            &mut self.scratch.seen,
-            &mut self.scratch.stack,
-        );
+        self.net
+            .residual_reachable_with(self.source, &mut self.scratch);
         out.clear();
-        out.extend(self.job_nodes.iter().map(|&v| self.scratch.seen[v]));
+        out.extend(
+            self.job_nodes
+                .iter()
+                .map(|&v| self.scratch.is_seen(v as usize)),
+        );
     }
 
     /// After a max flow: for each job, whether its node still has a residual
@@ -352,15 +411,20 @@ impl<S: Scalar> AllocationNetwork<S> {
     /// set can never absorb more flow at any higher water level, which is
     /// what licenses contracting them out of the network.
     pub fn sink_reachability_into(&mut self, jobs: &mut Vec<bool>, sites: &mut Vec<bool>) {
-        self.net.residual_coreachable_into(
-            self.sink,
-            &mut self.scratch.seen,
-            &mut self.scratch.stack,
-        );
+        self.net
+            .residual_coreachable_with(self.sink, &mut self.scratch);
         jobs.clear();
-        jobs.extend(self.job_nodes.iter().map(|&v| self.scratch.seen[v]));
+        jobs.extend(
+            self.job_nodes
+                .iter()
+                .map(|&v| self.scratch.is_seen(v as usize)),
+        );
         sites.clear();
-        sites.extend(self.site_nodes.iter().map(|&v| self.scratch.seen[v]));
+        sites.extend(
+            self.site_nodes
+                .iter()
+                .map(|&v| self.scratch.is_seen(v as usize)),
+        );
     }
 
     // ----- In-place mutation & residual-flow repair (incremental sessions) -----
@@ -828,7 +892,7 @@ mod tests {
     /// Conservation at every non-terminal node (drain repair must keep it).
     fn assert_conserved(net: &AllocationNetwork<f64>) {
         for v in 2..net.network().node_count() {
-            let out = net.network().net_outflow(v);
+            let out = net.network().net_outflow(v as NodeId);
             assert!(out.abs() < 1e-9, "conservation violated at node {v}: {out}");
         }
     }

@@ -8,11 +8,19 @@
 //! every aggregate allocation exactly, and which the AMF solver's warm
 //! starts rely on.
 //!
+//! The kernel traverses the CSR adjacency view cached in the scratch
+//! (rebuilt only when the network structure changed) and tracks level-graph
+//! membership in a word-packed [`BitSet`](crate::BitSet): the BFS clears
+//! one bitset word per 64 nodes instead of refilling a `level` array, and
+//! the flat BFS queue doubles as the list of reached nodes, so per-phase
+//! setup touches only the reached subgraph.
+//!
 //! The kernel proper is [`max_flow_with`], which borrows its BFS/DFS
 //! working state from a [`FlowScratch`] so repeated calls allocate
 //! nothing; [`max_flow`] is the convenience form with a private arena.
 
-use crate::graph::{FlowNetwork, NodeId};
+use crate::bitset::BitSet;
+use crate::graph::{Csr, FlowNetwork, NodeId};
 use crate::scratch::FlowScratch;
 use amf_numeric::{min2, Scalar};
 
@@ -40,61 +48,122 @@ pub fn max_flow_with<S: Scalar>(
     assert!(source != sink, "max_flow: source == sink");
     let n = net.node_count();
     scratch.ensure_nodes(n);
+    net.ensure_csr(&mut scratch.csr);
     let FlowScratch {
+        csr,
         level,
         iter,
         queue,
+        seen,
         edges_visited,
         ..
     } = scratch;
     let mut pushed = S::ZERO;
 
-    while bfs_levels(net, source, sink, level, queue, edges_visited) {
-        iter.iter_mut().for_each(|x| *x = 0);
+    while bfs_levels(
+        net,
+        source,
+        sink,
+        csr,
+        level,
+        iter,
+        queue,
+        seen,
+        edges_visited,
+    ) {
         loop {
-            let f = augment(net, source, sink, level, iter, None, edges_visited);
+            let f = augment(
+                net,
+                source,
+                sink,
+                csr,
+                level,
+                seen,
+                iter,
+                None,
+                edges_visited,
+            );
             if !f.is_positive() {
                 break;
             }
             pushed += f;
         }
     }
+    // The loop exits on a failed BFS, which marks exactly the nodes the
+    // source can still reach in the residual graph — i.e. the source side
+    // of a minimum cut. Record that provenance so a follow-up
+    // `residual_reachable_with(source, ..)` is answered without traversal.
+    scratch.seen_key = net.sweep_key(source, false);
     pushed
 }
 
 /// Build the BFS level graph; returns false when the sink is unreachable.
+///
+/// `seen` membership gates every `level` read (levels of unreached nodes
+/// are stale), and DFS cursors in `iter` are initialized here, exactly
+/// once per reached node — unreached nodes cost nothing.
+#[allow(clippy::too_many_arguments)]
 fn bfs_levels<S: Scalar>(
     net: &FlowNetwork<S>,
     source: NodeId,
     sink: NodeId,
+    csr: &Csr,
     level: &mut [u32],
-    queue: &mut std::collections::VecDeque<NodeId>,
+    iter: &mut [u32],
+    queue: &mut Vec<u32>,
+    seen: &mut BitSet,
     edges_visited: &mut u64,
 ) -> bool {
-    level.iter_mut().for_each(|x| *x = u32::MAX);
-    level[source] = 0;
+    seen.reset(net.node_count());
     queue.clear();
-    queue.push_back(source);
-    while let Some(v) = queue.pop_front() {
-        *edges_visited += net.edges_from(v).len() as u64;
-        for &e in net.edges_from(v) {
-            let to = net.head(e);
-            if level[to] == u32::MAX && net.residual(e).is_positive() {
+    queue.push(source);
+    seen.set(source as usize);
+    level[source as usize] = 0;
+    let (src_lo, _) = csr.range(source as usize);
+    iter[source as usize] = src_lo as u32;
+    let mut head = 0;
+    let mut sink_level = u32::MAX;
+    while head < queue.len() {
+        let v = queue[head] as usize;
+        head += 1;
+        // Stop once the frontier reaches the sink's level: deeper nodes
+        // cannot lie on a shortest (strictly level-increasing) augmenting
+        // path, and the DFS never follows an unmarked node, so the blocking
+        // flow is unchanged. A failed BFS (sink never found) still sweeps
+        // the full reachable set — which is what makes its `seen` marks the
+        // source side of a minimum cut.
+        if level[v] >= sink_level {
+            break;
+        }
+        let (lo, hi) = csr.range(v);
+        *edges_visited += (hi - lo) as u64;
+        for &e in &csr.targets[lo..hi] {
+            let to = net.head(e) as usize;
+            if !seen.get(to) && net.residual(e).is_positive() {
+                seen.set(to);
                 level[to] = level[v] + 1;
-                queue.push_back(to);
+                let (to_lo, _) = csr.range(to);
+                iter[to] = to_lo as u32;
+                queue.push(to as u32);
+                if to == sink as usize {
+                    sink_level = level[to];
+                }
             }
         }
     }
-    level[sink] != u32::MAX
+    seen.get(sink as usize)
 }
 
 /// DFS one blocking-path augmentation in the level graph.
+#[allow(clippy::too_many_arguments)]
 fn augment<S: Scalar>(
     net: &mut FlowNetwork<S>,
     v: NodeId,
     sink: NodeId,
+    csr: &Csr,
     level: &[u32],
-    it: &mut [usize],
+    seen: &BitSet,
+    it: &mut [u32],
     limit: Option<S>,
     edges_visited: &mut u64,
 ) -> S {
@@ -106,17 +175,29 @@ fn augment<S: Scalar>(
             S::ZERO
         });
     }
-    while it[v] < net.edges_from(v).len() {
-        let e = net.edges_from(v)[it[v]];
-        let to = net.head(e);
+    let v = v as usize;
+    let end = csr.range(v).1 as u32;
+    while it[v] < end {
+        let e = csr.targets[it[v] as usize];
+        let to = net.head(e) as usize;
         let res = net.residual(e);
         *edges_visited += 1;
-        if res.is_positive() && level[to] == level[v] + 1 {
+        if res.is_positive() && seen.get(to) && level[to] == level[v] + 1 {
             let next_limit = Some(match limit {
                 None => res,
                 Some(l) => min2(l, res),
             });
-            let f = augment(net, to, sink, level, it, next_limit, edges_visited);
+            let f = augment(
+                net,
+                to as NodeId,
+                sink,
+                csr,
+                level,
+                seen,
+                it,
+                next_limit,
+                edges_visited,
+            );
             if f.is_positive() {
                 net.add_flow(e, f);
                 return f;
@@ -222,6 +303,7 @@ mod tests {
             }
         }
         assert!(scratch.edges_visited() > 0);
+        assert!(scratch.bitset_words_cleared() > 0);
     }
 
     #[test]
@@ -230,9 +312,32 @@ mod tests {
         for n in [2usize, 8, 3, 6] {
             let mut g: FlowNetwork<f64> = FlowNetwork::new(n);
             for v in 0..n - 1 {
-                g.add_edge(v, v + 1, 1.0);
+                g.add_edge(v as NodeId, (v + 1) as NodeId, 1.0);
             }
-            assert_eq!(max_flow_with(&mut g, 0, n - 1, &mut scratch), 1.0);
+            assert_eq!(
+                max_flow_with(&mut g, 0, (n - 1) as NodeId, &mut scratch),
+                1.0
+            );
         }
+    }
+
+    #[test]
+    fn csr_is_rebuilt_once_per_structure() {
+        let mut scratch: FlowScratch<f64> = FlowScratch::new();
+        let mut g: FlowNetwork<f64> = FlowNetwork::new(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 2.0);
+        max_flow_with(&mut g, 0, 2, &mut scratch);
+        assert_eq!(scratch.csr_rebuilds(), 1);
+        g.reset_flow();
+        max_flow_with(&mut g, 0, 2, &mut scratch);
+        assert_eq!(
+            scratch.csr_rebuilds(),
+            1,
+            "re-solving an unchanged structure must reuse the CSR"
+        );
+        g.add_edge(0, 2, 1.0);
+        max_flow_with(&mut g, 0, 2, &mut scratch);
+        assert_eq!(scratch.csr_rebuilds(), 2);
     }
 }

@@ -21,9 +21,14 @@
 //! * [`FlowBackend`] — which kernel an allocation network runs (`Dinic`,
 //!   `PushRelabel`, or density-based `Auto`);
 //! * [`FlowScratch`] — a reusable arena for the kernels' per-node working
-//!   state, making repeated max flows allocation-free;
+//!   state (including the cached CSR adjacency view and the [`BitSet`]
+//!   frontiers), making repeated max flows allocation-free;
 //! * [`AllocationNetwork`] — the jobs-by-sites convenience wrapper the AMF
 //!   solver drives.
+//!
+//! Edge storage is a flat struct-of-arrays arena with `u32` ids; adjacency
+//! is a CSR view rebuilt only when the structure changes (see
+//! `DESIGN.md` §2.9 for the layout and invalidation rules).
 
 #![forbid(unsafe_code)]
 // `!(a < b)` is this workspace's idiom for "a >= b under the total order":
@@ -36,11 +41,13 @@
 #![deny(missing_docs)]
 
 mod bipartite;
+mod bitset;
 pub mod dinic;
 mod graph;
 pub mod push_relabel;
 mod scratch;
 
 pub use bipartite::{AllocationNetwork, FlowBackend};
+pub use bitset::BitSet;
 pub use graph::{EdgeId, FlowNetwork, NodeId};
 pub use scratch::FlowScratch;

@@ -13,12 +13,19 @@
 //! its excess drains back to the source without climbing one relabel at a
 //! time.
 //!
+//! Like Dinic, the kernel traverses the CSR adjacency view cached in the
+//! scratch and keeps FIFO membership in a word-packed
+//! [`BitSet`](crate::BitSet). The returned value is the excess accumulated
+//! at the sink — already tracked by the algorithm, so no O(E) outflow scan
+//! at the end.
+//!
 //! Note: push–relabel computes the max flow **from scratch** — it does not
 //! support warm starts. Any pre-existing flow is cleared on entry; the
 //! [`Auto`](crate::FlowBackend::Auto) backend therefore routes warm-started
 //! re-checks to Dinic.
 
-use crate::graph::{FlowNetwork, NodeId};
+use crate::bitset::BitSet;
+use crate::graph::{Csr, FlowNetwork, NodeId};
 use crate::scratch::FlowScratch;
 use amf_numeric::{min2, Scalar};
 
@@ -44,8 +51,10 @@ pub fn max_flow_with<S: Scalar>(
     net.reset_flow();
     let n = net.node_count();
     scratch.ensure_nodes(n);
+    net.ensure_csr(&mut scratch.csr);
     let FlowScratch {
-        queue,
+        csr,
+        fifo,
         height,
         excess,
         in_queue,
@@ -55,51 +64,52 @@ pub fn max_flow_with<S: Scalar>(
     } = scratch;
     height.iter_mut().for_each(|h| *h = 0);
     excess.iter_mut().for_each(|x| *x = S::ZERO);
-    in_queue.iter_mut().for_each(|b| *b = false);
+    in_queue.reset(n);
     gap.iter_mut().for_each(|g| *g = 0);
-    queue.clear();
+    fifo.clear();
 
-    height[source] = n as u32;
+    height[source as usize] = n as u32;
     // Gap counts cover every node except the source (pinned at `n`); the
     // sink sits permanently at height 0, so no height in `1..n` can look
     // empty merely because the sink was excluded.
     gap[0] = (n - 1) as u32;
 
     // Saturate all source edges.
-    let source_degree = net.edges_from(source).len();
-    for i in 0..source_degree {
-        let e = net.edges_from(source)[i];
+    let (src_lo, src_hi) = csr.range(source as usize);
+    for i in src_lo..src_hi {
+        let e = csr.targets[i];
         *edges_visited += 1;
         let res = net.residual(e);
         if res.is_positive() {
             let to = net.head(e);
             net.add_flow(e, res);
-            excess[to] += res;
-            if to != sink && to != source && !in_queue[to] {
-                in_queue[to] = true;
-                queue.push_back(to);
+            excess[to as usize] += res;
+            if to != sink && to != source && !in_queue.get(to as usize) {
+                in_queue.set(to as usize);
+                fifo.push_back(to);
             }
         }
     }
 
-    while let Some(v) = queue.pop_front() {
-        in_queue[v] = false;
+    while let Some(v) = fifo.pop_front() {
+        in_queue.clear_bit(v as usize);
         discharge(
             net,
             v,
             sink,
             source,
+            csr,
             height,
             excess,
-            queue,
+            fifo,
             in_queue,
             gap,
             edges_visited,
         );
     }
 
-    // Max flow equals the flow into the sink.
-    -net.net_outflow(sink)
+    // Max flow equals the excess the algorithm accumulated at the sink.
+    excess[sink as usize]
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -108,26 +118,26 @@ fn discharge<S: Scalar>(
     v: NodeId,
     sink: NodeId,
     source: NodeId,
+    csr: &Csr,
     height: &mut [u32],
     excess: &mut [S],
-    queue: &mut std::collections::VecDeque<NodeId>,
-    in_queue: &mut [bool],
+    fifo: &mut std::collections::VecDeque<NodeId>,
+    in_queue: &mut BitSet,
     gap: &mut [u32],
     edges_visited: &mut u64,
 ) {
     let n = net.node_count();
+    let v = v as usize;
+    let (lo, hi) = csr.range(v);
     while excess[v].is_positive() {
         let mut pushed_any = false;
-        // Index-based sweep: `net` is mutated inside the loop, so iterate by
-        // position rather than holding (or copying) the adjacency slice.
-        let degree = net.edges_from(v).len();
-        for i in 0..degree {
+        for i in lo..hi {
             if !excess[v].is_positive() {
                 break;
             }
-            let e = net.edges_from(v)[i];
+            let e = csr.targets[i];
             *edges_visited += 1;
-            let to = net.head(e);
+            let to = net.head(e) as usize;
             let res = net.residual(e);
             if res.is_positive() && height[v] == height[to] + 1 {
                 let delta = min2(excess[v], res);
@@ -135,9 +145,10 @@ fn discharge<S: Scalar>(
                 excess[v] -= delta;
                 excess[to] += delta;
                 pushed_any = true;
-                if to != sink && to != source && !in_queue[to] {
-                    in_queue[to] = true;
-                    queue.push_back(to);
+                let to_id = to as NodeId;
+                if to_id != sink && to_id != source && !in_queue.get(to) {
+                    in_queue.set(to);
+                    fifo.push_back(to_id);
                 }
             }
         }
@@ -147,10 +158,10 @@ fn discharge<S: Scalar>(
         if !pushed_any {
             // Relabel: one above the lowest admissible neighbour.
             let mut min_h = u32::MAX;
-            for &e in net.edges_from(v) {
+            for &e in &csr.targets[lo..hi] {
                 *edges_visited += 1;
                 if net.residual(e).is_positive() {
-                    min_h = min_h.min(height[net.head(e)]);
+                    min_h = min_h.min(height[net.head(e) as usize]);
                 }
             }
             if min_h == u32::MAX {
@@ -171,7 +182,7 @@ fn discharge<S: Scalar>(
                 // drains back to the source.
                 let lifted = (n + 1) as u32;
                 for u in 0..n {
-                    if u == source {
+                    if u == source as usize {
                         continue;
                     }
                     let hu = height[u];
@@ -221,15 +232,19 @@ mod tests {
             let (s, t) = (0, 1);
             let mut g1: FlowNetwork<f64> = FlowNetwork::new(n);
             for j in 0..jobs {
-                g1.add_edge(s, 2 + j, rng.gen_range(0..20) as f64);
+                g1.add_edge(s, (2 + j) as NodeId, rng.gen_range(0..20) as f64);
                 for k in 0..sites {
                     if rng.gen_bool(0.6) {
-                        g1.add_edge(2 + j, 2 + jobs + k, rng.gen_range(0..10) as f64);
+                        g1.add_edge(
+                            (2 + j) as NodeId,
+                            (2 + jobs + k) as NodeId,
+                            rng.gen_range(0..10) as f64,
+                        );
                     }
                 }
             }
             for k in 0..sites {
-                g1.add_edge(2 + jobs + k, t, rng.gen_range(0..25) as f64);
+                g1.add_edge((2 + jobs + k) as NodeId, t, rng.gen_range(0..25) as f64);
             }
             let mut g2 = g1.clone();
             let f1 = dinic::max_flow(&mut g1, s, t);
@@ -251,15 +266,15 @@ mod tests {
                 let b = rng.gen_range(0..n);
                 if a != b {
                     g1.add_edge(
-                        a,
-                        b,
+                        a as NodeId,
+                        b as NodeId,
                         Rational::new(rng.gen_range(0..12), rng.gen_range(1..5)),
                     );
                 }
             }
             let mut g2 = g1.clone();
-            let f1 = dinic::max_flow(&mut g1, 0, n - 1);
-            let f2 = max_flow(&mut g2, 0, n - 1);
+            let f1 = dinic::max_flow(&mut g1, 0, (n - 1) as NodeId);
+            let f2 = max_flow(&mut g2, 0, (n - 1) as NodeId);
             assert_eq!(f1, f2);
         }
     }

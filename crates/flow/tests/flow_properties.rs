@@ -21,7 +21,7 @@ fn random_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> 
 fn build(n: usize, edges: &[(usize, usize, i64)]) -> FlowNetwork<Rational> {
     let mut g = FlowNetwork::new(n);
     for &(a, b, c) in edges {
-        g.add_edge(a, b, Rational::from_int(c as i128));
+        g.add_edge(a as u32, b as u32, Rational::from_int(c as i128));
     }
     g
 }
@@ -39,7 +39,7 @@ proptest! {
         prop_assert!(flow >= Rational::ZERO);
         // Conservation: net outflow zero everywhere except source/sink.
         for v in 2..n {
-            prop_assert_eq!(g.net_outflow(v), Rational::ZERO, "node {} leaks", v);
+            prop_assert_eq!(g.net_outflow(v as u32), Rational::ZERO, "node {} leaks", v);
         }
         prop_assert_eq!(g.net_outflow(0), flow);
         prop_assert_eq!(g.net_outflow(1), -flow);
@@ -75,7 +75,7 @@ proptest! {
         let full = dinic::max_flow(&mut reference, 0, 1);
         // Halve the reference flow as the preload, then re-augment.
         let mut warm = build(n, &edges);
-        for e in (0..warm.edge_count()).step_by(2) {
+        for e in (0..warm.edge_count() as u32).step_by(2) {
             let f = reference.flow(e);
             if f > Rational::ZERO {
                 warm.add_flow(e, f * Rational::new(1, 2));

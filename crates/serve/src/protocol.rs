@@ -200,6 +200,12 @@ pub struct WireStats {
     pub overloaded: u64,
     /// Frames that failed to decode into a request.
     pub protocol_errors: u64,
+    /// CSR adjacency rebuilds across all live sessions' solver scratch
+    /// (cumulative; a structural change per solve is the expected rate).
+    pub csr_rebuilds: u64,
+    /// Bitset words zeroed by frontier resets across all live sessions
+    /// (cumulative; tracks traversal setup cost, not graph size).
+    pub bitset_words_cleared: u64,
     /// Per-operation latency summaries.
     pub ops: Vec<OpStats>,
 }
@@ -329,6 +335,8 @@ mod tests {
                     deltas_coalesced: 2,
                     overloaded: 1,
                     protocol_errors: 0,
+                    csr_rebuilds: 5,
+                    bitset_words_cleared: 640,
                     ops: vec![OpStats {
                         op: "solve".into(),
                         count: 3,

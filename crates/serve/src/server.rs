@@ -150,10 +150,22 @@ impl<S: WireScalar> Shared<S> {
 
     fn build_stats(&self) -> WireStats {
         let (mut sessions, mut queued) = (0, 0);
+        // Clone the tenant handles out of each shard before touching them:
+        // tenant locks are only ever taken with no shard lock held, and the
+        // stats path must respect that ordering too.
+        let mut tenants = Vec::new();
         for sh in &self.shards {
             let st = sh.lock().expect("shard lock poisoned");
             sessions += st.sessions.len();
             queued += st.queue.len();
+            tenants.extend(st.sessions.values().cloned());
+        }
+        let (mut csr_rebuilds, mut bitset_words_cleared) = (0u64, 0u64);
+        for t in tenants {
+            let t = t.lock().expect("tenant lock poisoned");
+            let work = t.session.session_stats();
+            csr_rebuilds = csr_rebuilds.saturating_add(work.csr_rebuilds);
+            bitset_words_cleared = bitset_words_cleared.saturating_add(work.bitset_words_cleared);
         }
         let book = self.latency.lock().expect("latency lock poisoned");
         let ops = OP_NAMES
@@ -178,6 +190,8 @@ impl<S: WireScalar> Shared<S> {
             deltas_coalesced: self.counters.deltas_coalesced.load(Ordering::Relaxed),
             overloaded: self.counters.overloaded.load(Ordering::Relaxed),
             protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            csr_rebuilds,
+            bitset_words_cleared,
             ops,
         }
     }

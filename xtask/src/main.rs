@@ -13,6 +13,11 @@
 //!   serve load generator (`bench_serve`), both release profile, and
 //!   validate the `BENCH_solver.json` / `BENCH_serve.json` they write at
 //!   the workspace root. `--smoke` forwards the bins' quick mode for CI.
+//!   `--check` turns the run into a regression gate: reports are written
+//!   to `target/` instead, and compared against the committed baselines —
+//!   deterministic solver work counters must match exactly, and (full mode
+//!   only) wall-clock ratios must stay within the tolerance, default 1.25×,
+//!   overridable with `--tolerance X` or the `AMF_BENCH_TOLERANCE` env var.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -26,7 +31,14 @@ fn main() -> ExitCode {
     match task.as_deref() {
         Some("lint") => lint(),
         Some("fmt") => fmt(),
-        Some("bench") => bench(env::args().nth(2).as_deref() == Some("--smoke")),
+        Some("bench") => match BenchOptions::parse(env::args().skip(2)) {
+            Ok(opts) => bench(&opts),
+            Err(msg) => {
+                eprintln!("xtask: {msg}");
+                usage();
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
             eprintln!("unknown task `{other}`");
             usage();
@@ -39,12 +51,59 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parsed `cargo xtask bench` flags.
+struct BenchOptions {
+    smoke: bool,
+    check: bool,
+    tolerance: f64,
+}
+
+impl BenchOptions {
+    /// Parse flags; the regression tolerance resolves as
+    /// `--tolerance` > `AMF_BENCH_TOLERANCE` > 1.25.
+    fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = BenchOptions {
+            smoke: false,
+            check: false,
+            tolerance: match env::var("AMF_BENCH_TOLERANCE") {
+                Ok(v) => v
+                    .parse::<f64>()
+                    .map_err(|_| format!("AMF_BENCH_TOLERANCE is not a number: {v:?}"))?,
+                Err(_) => 1.25,
+            },
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--check" => opts.check = true,
+                "--tolerance" => {
+                    let v = args.next().ok_or("--tolerance requires a value")?;
+                    opts.tolerance = v
+                        .parse::<f64>()
+                        .map_err(|_| format!("--tolerance is not a number: {v:?}"))?;
+                }
+                other => return Err(format!("unknown bench flag {other}")),
+            }
+        }
+        if !(opts.tolerance.is_finite() && opts.tolerance >= 1.0) {
+            return Err(format!(
+                "tolerance must be a finite ratio >= 1.0, got {}",
+                opts.tolerance
+            ));
+        }
+        Ok(opts)
+    }
+}
+
 fn usage() {
-    eprintln!("usage: cargo xtask <lint|fmt|bench [--smoke]>");
+    eprintln!("usage: cargo xtask <lint|fmt|bench [--smoke] [--check] [--tolerance X]>");
     eprintln!("  lint   run the static-analysis gate (rustfmt --check + clippy -D warnings)");
     eprintln!("  fmt    apply rustfmt to the workspace");
     eprintln!(
-        "  bench  run the solver benchmark + serve load generator and validate their reports"
+        "  bench  run the solver benchmark + serve load generator and validate their reports;\n\
+         \x20        --check gates against the committed BENCH_*.json baselines (tolerance\n\
+         \x20        1.25x; override with --tolerance or AMF_BENCH_TOLERANCE)"
     );
 }
 
@@ -155,17 +214,20 @@ fn lint() -> ExitCode {
 }
 
 /// Keys every `BENCH_solver.json` must contain (schema
-/// `amf-bench-solver/v2`); checked textually so xtask stays
+/// `amf-bench-solver/v3`); checked textually so xtask stays
 /// dependency-free.
 const BENCH_SOLVER_KEYS: &[&str] = &[
     "\"schema\"",
-    "\"amf-bench-solver/v2\"",
+    "\"amf-bench-solver/v3\"",
     "\"sweep\"",
     "\"e8_400x20\"",
     "\"batch\"",
     "\"kernels\"",
     "\"event_loop\"",
     "\"rounds_replayed\"",
+    "\"ns_per_edge\"",
+    "\"csr_rebuilds\"",
+    "\"bitset_words_cleared\"",
 ];
 
 /// Keys every `BENCH_serve.json` must contain (schema
@@ -186,9 +248,9 @@ const BENCH_SERVE_KEYS: &[&str] = &[
     "\"audit_violations\": 0",
 ];
 
-/// Run one benchmark bin and validate the report it writes.
-fn bench_bin(bin: &str, report: &str, required: &[&str], smoke: bool) -> bool {
-    let out = workspace_root().join(report);
+/// Run one benchmark bin and validate the report it writes. Returns the
+/// report contents on success so `--check` can compare them.
+fn bench_bin(bin: &str, out: &Path, required: &[&str], smoke: bool) -> Option<String> {
     let out_str = out.to_string_lossy().into_owned();
     let mut args: Vec<&str> = vec!["run", "--release", "-p", "amf-bench", "--bin", bin, "--"];
     if smoke {
@@ -196,37 +258,197 @@ fn bench_bin(bin: &str, report: &str, required: &[&str], smoke: bool) -> bool {
     }
     args.extend_from_slice(&["--out", &out_str]);
     if !run(&format!("{bin} (release)"), "cargo", &args) {
-        return false;
+        return None;
     }
-    let json = match std::fs::read_to_string(&out) {
+    let json = match std::fs::read_to_string(out) {
         Ok(s) if !s.trim().is_empty() => s,
         Ok(_) => {
             eprintln!("xtask: {} is empty", out.display());
-            return false;
+            return None;
         }
         Err(e) => {
             eprintln!("xtask: benchmark report missing at {}: {e}", out.display());
-            return false;
+            return None;
         }
     };
     for key in required {
         if !json.contains(key) {
             eprintln!("xtask: {} is malformed: missing {key}", out.display());
-            return false;
+            return None;
         }
     }
     println!("==> benchmark report validated: {}", out.display());
-    true
+    Some(json)
 }
 
-fn bench(smoke: bool) -> ExitCode {
-    if bench_bin(
-        "bench_solver",
-        "BENCH_solver.json",
-        BENCH_SOLVER_KEYS,
-        smoke,
-    ) && bench_bin("bench_serve", "BENCH_serve.json", BENCH_SERVE_KEYS, smoke)
-    {
+/// First number following `"key":` in `json`, parsed leniently — enough
+/// for the reports our own serializer writes, keeping xtask dependency-free.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Every number following `"key":` in `json`, in document order.
+fn extract_all_numbers(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        if let Some(v) = extract_number_prefix(rest) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Parse the number at the start of `rest` (after optional whitespace).
+fn extract_number_prefix(rest: &str) -> Option<f64> {
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The `sweep` section of a solver report (everything before the headline
+/// section): its work counters are deterministic for a fixed instance set,
+/// independent of rep count, and identical in smoke and full mode.
+fn sweep_section(json: &str) -> &str {
+    match json.find("\"e8_400x20\"") {
+        Some(end) => &json[..end],
+        None => json,
+    }
+}
+
+/// Compare a fresh solver report against the committed baseline.
+///
+/// Deterministic counters (sweep-section `rounds`, `max_flows`,
+/// `edges_visited`) must match the baseline exactly in every mode — a
+/// mismatch means the solver is doing different *work*, not that the
+/// machine is slow. Wall-clock gating (headline `contracted_ms` and
+/// `legacy_ms`, event-loop `incremental_ms`) applies in full mode only;
+/// smoke timings are single-rep noise.
+fn check_solver(fresh: &str, baseline: &str, smoke: bool, tolerance: f64) -> bool {
+    let mut ok = true;
+    for key in ["rounds", "max_flows", "edges_visited"] {
+        let got = extract_all_numbers(sweep_section(fresh), key);
+        let want = extract_all_numbers(sweep_section(baseline), key);
+        if got != want {
+            eprintln!(
+                "xtask: bench --check: sweep counter {key:?} diverged from baseline\n  \
+                 baseline: {want:?}\n  fresh:    {got:?}"
+            );
+            ok = false;
+        }
+    }
+    if smoke {
+        return ok;
+    }
+    for key in ["contracted_ms", "legacy_ms", "incremental_ms"] {
+        let (Some(got), Some(want)) = (extract_number(fresh, key), extract_number(baseline, key))
+        else {
+            eprintln!("xtask: bench --check: {key:?} missing from a solver report");
+            ok = false;
+            continue;
+        };
+        let ratio = got / want;
+        // NaN falls into the failure branch by construction.
+        if ratio <= tolerance {
+            println!("==> bench --check: {key} {got:.4} ms vs baseline {want:.4} ms ({ratio:.3}x)");
+        } else {
+            eprintln!(
+                "xtask: bench --check: {key} regressed {ratio:.3}x over baseline \
+                 ({got:.4} ms vs {want:.4} ms, tolerance {tolerance}x)"
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Compare a fresh serve report against the committed baseline: sustained
+/// closed-loop throughput must stay within `tolerance` of the baseline.
+/// Serve counters depend on thread interleaving, so nothing is compared in
+/// smoke mode beyond the key validation every run gets.
+fn check_serve(fresh: &str, baseline: &str, smoke: bool, tolerance: f64) -> bool {
+    if smoke {
+        return true;
+    }
+    let (Some(got), Some(want)) = (
+        extract_number(fresh, "throughput_rps"),
+        extract_number(baseline, "throughput_rps"),
+    ) else {
+        eprintln!("xtask: bench --check: throughput_rps missing from a serve report");
+        return false;
+    };
+    let ratio = want / got;
+    // NaN falls into the failure branch by construction.
+    if ratio <= tolerance {
+        println!("==> bench --check: throughput {got:.1} rps vs baseline {want:.1} rps");
+        true
+    } else {
+        eprintln!(
+            "xtask: bench --check: throughput_rps regressed {ratio:.3}x below baseline \
+             ({got:.1} rps vs {want:.1} rps, tolerance {tolerance}x)"
+        );
+        false
+    }
+}
+
+fn bench(opts: &BenchOptions) -> ExitCode {
+    let root = workspace_root();
+    let mut ok = true;
+    for (bin, report, keys) in [
+        ("bench_solver", "BENCH_solver.json", BENCH_SOLVER_KEYS),
+        ("bench_serve", "BENCH_serve.json", BENCH_SERVE_KEYS),
+    ] {
+        let committed = root.join(report);
+        // In check mode the committed baseline is the reference: read it
+        // before the run, and keep the fresh report out of the way under
+        // target/ so the working tree stays clean.
+        let (out, baseline) = if opts.check {
+            let baseline = match std::fs::read_to_string(&committed) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!(
+                        "xtask: bench --check needs a committed baseline at {}: {e}",
+                        committed.display()
+                    );
+                    ok = false;
+                    continue;
+                }
+            };
+            let dir = root.join("target").join("bench-check");
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("xtask: cannot create {}: {e}", dir.display());
+                ok = false;
+                continue;
+            }
+            (dir.join(report), Some(baseline))
+        } else {
+            (committed, None)
+        };
+        let Some(fresh) = bench_bin(bin, &out, keys, opts.smoke) else {
+            ok = false;
+            continue;
+        };
+        if let Some(baseline) = baseline {
+            ok &= match bin {
+                "bench_solver" => check_solver(&fresh, &baseline, opts.smoke, opts.tolerance),
+                _ => check_serve(&fresh, &baseline, opts.smoke, opts.tolerance),
+            };
+        }
+    }
+    if ok {
+        if opts.check {
+            println!("==> bench --check passed (tolerance {}x)", opts.tolerance);
+        }
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
